@@ -1,0 +1,27 @@
+# Convenience targets for the DRS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-quick examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner --out results --html
+
+experiments-quick:
+	$(PYTHON) -m repro.experiments.runner --quick --out results
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf results .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

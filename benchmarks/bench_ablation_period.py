@@ -1,0 +1,27 @@
+"""Ablation bench — the proactive continuum: sweep period vs detection.
+
+"If the links were not checked frequently, the DRS would become equivalent
+to a reactive routing protocol."  Measured on the live DES: longer sweep
+periods cost less probe bandwidth and detect failures later, tracing the
+trade-off Figure 1 prices.
+"""
+
+from repro.experiments.ablations import measured_detection_latency
+
+
+def test_sweep_period_tradeoff(once, capsys):
+    def sweep():
+        return {period: measured_detection_latency(period, n=5, repeats=3) for period in (0.25, 1.0, 4.0)}
+
+    results = once(sweep)
+    with capsys.disabled():
+        print()
+        for period, (latency, overhead) in results.items():
+            print(f"  sweep={period:.2f}s: detect+repair={latency:.2f}s probe={overhead / 1e3:.1f}kb/s")
+    latencies = [results[p][0] for p in (0.25, 1.0, 4.0)]
+    overheads = [results[p][1] for p in (0.25, 1.0, 4.0)]
+    assert latencies == sorted(latencies)                 # check less -> detect later
+    assert overheads == sorted(overheads, reverse=True)   # check less -> cheaper
+    # detection stays within the configured bound: retries * sweep + timeout
+    for period in (0.25, 1.0, 4.0):
+        assert results[period][0] <= 2 * period + 0.3

@@ -1,0 +1,37 @@
+"""Ablation bench — the value of the second backplane.
+
+Compares dual-backplane Equation-1 survivability with the exact
+single-backplane closed form: the architecture DRS's redundant network
+replaces never converges to 1 as N grows (more NICs, more ways to lose an
+endpoint) while the dual design does — the paper's core architectural bet.
+"""
+
+from repro.analysis import success_probability
+from repro.experiments.ablations import single_backplane_success
+
+
+def test_dual_beats_single_everywhere(benchmark, capsys):
+    def table():
+        rows = []
+        for n in (8, 16, 32, 63):
+            for f in (2, 3, 4):
+                rows.append((n, f, success_probability(n, f), single_backplane_success(n, f)))
+        return rows
+
+    rows = benchmark(table)
+    with capsys.disabled():
+        print()
+        for n, f, dual, single in rows:
+            print(f"  N={n:2d} f={f}: dual={dual:.4f} single={single:.4f}")
+    for n, f, dual, single in rows:
+        assert dual > single, (n, f)
+
+
+def test_single_backplane_does_not_converge_to_one(benchmark):
+    def limits():
+        return single_backplane_success(1000, 2), success_probability(1000, 2)
+
+    single, dual = benchmark(limits)
+    # dual converges to 1; single is capped by the hub + endpoint exposure
+    assert dual > 0.99999
+    assert single < 0.999

@@ -1,0 +1,44 @@
+"""Ablation bench — the value of DRS two-hop broadcast route discovery.
+
+Compares Equation-1 survivability against a DRS variant without the
+broadcast stage (direct links only), quantifying what the paper's
+"some other server is able to act as a router" mechanism buys.
+"""
+
+import numpy as np
+
+from repro.analysis import simulate_success_probability, success_probability
+
+
+def test_two_hop_gain(benchmark, capsys):
+    rng = np.random.default_rng(7)
+    n, f = 16, 4
+
+    def both():
+        full = success_probability(n, f)
+        reduced = simulate_success_probability(n, f, 200_000, rng, two_hop=False)
+        return full, reduced
+
+    full, reduced = benchmark.pedantic(both, rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print(f"\nN={n} f={f}: with two-hop={full:.4f} without={reduced:.4f}")
+    assert reduced < full
+    # the crossed-endpoint cases two-hop saves are a real, measurable share
+    assert full - reduced > 0.001
+
+
+def test_two_hop_gain_shrinks_with_n(benchmark):
+    # as N grows the crossed term vanishes (T(N-2, f-2) = 0 for f-2 < N-2),
+    # so the ablation gap closes -- two-hop matters most in small clusters
+    rng = np.random.default_rng(8)
+
+    def gaps():
+        out = []
+        for n in (5, 40):
+            full = success_probability(n, 4)
+            reduced = simulate_success_probability(n, 4, 150_000, rng, two_hop=False)
+            out.append(full - reduced)
+        return out
+
+    small_gap, large_gap = benchmark.pedantic(gaps, rounds=1, iterations=1, warmup_rounds=0)
+    assert small_gap > large_gap

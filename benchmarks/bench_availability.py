@@ -1,0 +1,32 @@
+"""EXP-AVAIL bench — downtime budgets and weighted-failure correction."""
+
+import numpy as np
+
+from repro.analysis import hub_nic_weight_ratio, pair_availability, simulate_weighted_success, success_probability
+
+
+def test_downtime_hierarchy(benchmark, capsys):
+    def budgets():
+        drs = pair_availability(12, 8_760, 24, repair_latency_s=1.1)
+        reactive = pair_availability(12, 8_760, 24, repair_latency_s=9.0)
+        return drs, reactive
+
+    drs, reactive = benchmark(budgets)
+    with capsys.disabled():
+        print(
+            f"\nN=12: DRS {drs.downtime_minutes_per_year:.1f} min/yr "
+            f"({drs.nines:.2f} nines) vs reactive {reactive.downtime_minutes_per_year:.1f} min/yr"
+        )
+    assert drs.downtime_minutes_per_year < reactive.downtime_minutes_per_year
+    assert drs.nines > 4
+
+
+def test_weighted_failures_lower_survivability(benchmark):
+    rng = np.random.default_rng(3)
+
+    def weighted():
+        ratio = hub_nic_weight_ratio(16)
+        return simulate_weighted_success(16, 3, 150_000, rng, hub_weight=ratio)
+
+    weighted_p = benchmark.pedantic(weighted, rounds=1, iterations=1, warmup_rounds=0)
+    assert weighted_p < success_probability(16, 3)

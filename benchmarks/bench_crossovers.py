@@ -1,0 +1,22 @@
+"""TAB-CROSS bench — the paper's 0.99 crossover sizes (18 / 32 / 45)."""
+
+from repro.analysis import crossover_n
+from repro.experiments import crossovers
+
+
+def test_crossover_search(benchmark):
+    values = benchmark(lambda: {f: crossover_n(f) for f in range(2, 11)})
+    assert values[2] == 18
+    assert values[3] == 32
+    assert values[4] == 45
+    # crossovers grow with the failure count
+    ns = list(values.values())
+    assert ns == sorted(ns)
+
+
+def test_crossover_report(benchmark, capsys):
+    result = benchmark(crossovers.run)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert any("reproduced exactly: True" in note for note in result.notes)

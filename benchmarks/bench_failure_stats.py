@@ -1,0 +1,27 @@
+"""TAB-MOTIV bench — the 13% network-failure motivation statistic."""
+
+import numpy as np
+
+from repro.cluster import FailureLogConfig, generate_failure_log, network_fraction
+from repro.experiments import motivation
+
+
+def test_fleet_year_generation(benchmark):
+    rng = np.random.default_rng(1999)
+    config = FailureLogConfig(servers=100, duration_days=365.0 * 10)
+    events = benchmark.pedantic(
+        lambda: generate_failure_log(config, rng), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(events) > 500
+    assert abs(network_fraction(events) - 0.13) < 0.04
+
+
+def test_motivation_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: motivation.run(fleet_years=20), rounds=1, iterations=1, warmup_rounds=0
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    headline = result.tables["headline"].rows[0]
+    assert abs(headline[1] - headline[2]) < 0.02  # measured vs paper 0.13

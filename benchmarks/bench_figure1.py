@@ -1,0 +1,45 @@
+"""FIG1 bench — response time vs nodes per bandwidth budget (100 Mb/s).
+
+Regenerates Figure 1's curve family and read-off table; asserts the paper's
+"~90 hosts in under a second at 10%" checkpoint and curve orderings.
+"""
+
+import numpy as np
+
+from repro.analysis import max_nodes_within, response_time_curve, sweep_time_s
+from repro.experiments import figure1
+
+
+def test_figure1_curves(benchmark):
+    ns = np.arange(2, 121)
+
+    def build():
+        return response_time_curve(ns, budgets=[0.05, 0.10, 0.15, 0.25])
+
+    curves = benchmark(build)
+    # paper shape: quadratic growth, ordered by budget
+    for budget, series in curves.items():
+        assert series[-1] > series[0]
+    assert (curves[0.25] < curves[0.05]).all()
+    # paper checkpoint
+    assert 0.9 < sweep_time_s(90, 0.10) < 1.2
+    assert max_nodes_within(1.1, 0.10) >= 90
+
+
+def test_figure1_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figure1.run(n_max=120, validate_des=False), rounds=1, iterations=1, warmup_rounds=0
+    )
+    rows = result.tables["readoff"].rows
+    with capsys.disabled():
+        print()
+        print(result.render())
+    budgets = [row[0] for row in rows]
+    assert budgets == ["5%", "10%", "15%", "25%"]
+
+
+def test_figure1_des_cross_validation(once):
+    result = once(figure1.run, n_max=10, validate_des=True, des_nodes=6)
+    for row in result.tables["des_validation"].rows:
+        # measured probe fraction within 10% of the configured budget
+        assert abs(row[3] - 1.0) < 0.10, row

@@ -1,0 +1,42 @@
+"""FIG2 bench — P[Success] vs N for f = 2..10 (Equation 1 + MC overlay).
+
+Regenerates Figure 2's nine curves over the paper's f < N < 64 domain and
+asserts convergence toward 1.
+"""
+
+from repro.analysis import success_curve, success_probability
+from repro.experiments import figure2
+
+
+def test_figure2_equation_curves(benchmark):
+    def build():
+        return {f: success_curve(f, n_max=63) for f in range(2, 11)}
+
+    curves = benchmark(build)
+    for f, (ns, ps) in curves.items():
+        assert ns[-1] == 63
+        assert (ps[1:] >= ps[:-1] - 1e-12).all(), f"f={f} not monotone"
+        assert ps[-1] > 0.9
+    # more simultaneous failures -> lower survivability at equal N
+    assert curves[10][1][-1] < curves[2][1][-1]
+
+
+def test_figure2_report_with_mc_overlay(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figure2.run(mc_iterations=5_000), rounds=1, iterations=1, warmup_rounds=0
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    eq = result.series["equation1"].curves
+    mc = result.series["montecarlo"].curves
+    # MC overlay tracks the closed form pointwise
+    for f in range(2, 11):
+        _, eq_ps = eq[f"f={f}"]
+        _, mc_ps = mc[f"sim f={f}"]
+        assert (abs(eq_ps - mc_ps) < 0.05).all()
+
+
+def test_figure2_prose_values(benchmark):
+    values = benchmark(lambda: [success_probability(n, f) for f, n in [(2, 18), (3, 32), (4, 45)]])
+    assert all(v > 0.99 for v in values)

@@ -1,0 +1,51 @@
+"""FIG3 bench — Monte Carlo convergence to Equation 1.
+
+Regenerates Figure 3 (mean absolute deviation vs iterations, log10 axis,
+f = 2..10 over f < N < 64) and asserts the paper's 1,000-iteration bound.
+"""
+
+import numpy as np
+
+from repro.analysis import mean_absolute_deviation
+from repro.experiments import figure3
+
+
+def test_figure3_mad_at_1000_iterations(benchmark):
+    rng = np.random.default_rng(2000)
+
+    def mad_all():
+        return {f: mean_absolute_deviation(f, 1_000, rng) for f in range(2, 11)}
+
+    mads = benchmark.pedantic(mad_all, rounds=1, iterations=1, warmup_rounds=0)
+    # paper: "With 1,000 iterations, the mean absolute difference is less
+    # than [~0.01] for each of the fixed f values"
+    for f, mad in mads.items():
+        assert mad < 0.012, (f, mad)
+
+
+def test_figure3_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figure3.run(iteration_grid=(10, 100, 1_000, 10_000)),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    for name, (iters, mad) in result.series["mad"].curves.items():
+        # converging toward zero across the grid
+        assert mad[-1] < mad[0], name
+
+
+def test_figure3_sqrt_scaling(benchmark):
+    rng = np.random.default_rng(0)
+
+    def ratio():
+        coarse = mean_absolute_deviation(3, 100, rng, n_max=40)
+        fine = mean_absolute_deviation(3, 10_000, rng, n_max=40)
+        return coarse / fine
+
+    r = benchmark.pedantic(ratio, rounds=1, iterations=1, warmup_rounds=0)
+    # 100x the samples -> ~10x less error; allow generous slack
+    assert 3 < r < 40

@@ -1,0 +1,27 @@
+"""Proactive-cost bench — DRS probe traffic lands at the configured budget.
+
+Cross-validates the paper's "15% of network bandwidth" cost claim: a DRS
+deployment paced for a budget consumes exactly that share of the simulated
+100 Mb/s segments.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import measured_probe_fraction
+
+
+@pytest.mark.parametrize("budget", [0.05, 0.10, 0.15])
+def test_probe_budget_respected(once, budget):
+    measured = once(measured_probe_fraction, 8, budget, 5.0)
+    assert measured == pytest.approx(budget, rel=0.10)
+
+
+def test_probe_traffic_scales_with_cluster(once):
+    def both():
+        small = measured_probe_fraction(4, 0.10, 4.0)
+        large = measured_probe_fraction(10, 0.10, 4.0)
+        return small, large
+
+    small, large = once(both)
+    # pacing keeps the *fraction* fixed as the cluster grows (sweep stretches)
+    assert small == pytest.approx(large, rel=0.15)

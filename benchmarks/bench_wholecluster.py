@@ -1,0 +1,47 @@
+"""EXP-ALLPAIRS bench — whole-cluster survivability closed form and regimes."""
+
+import numpy as np
+
+from repro.analysis import (
+    allpairs_success_curve,
+    allpairs_success_probability,
+    iid_allpairs_success_probability,
+    iid_success_probability,
+    simulate_allpairs_success,
+    success_probability,
+)
+
+
+def test_allpairs_curves(benchmark):
+    def build():
+        return {f: allpairs_success_curve(f, n_max=63) for f in (2, 4, 6)}
+
+    curves = benchmark(build)
+    for f, (ns, ps) in curves.items():
+        pair = np.array([success_probability(int(n), f) for n in ns])
+        assert (ps <= pair + 1e-12).all()
+
+
+def test_iid_divergence(benchmark, capsys):
+    def regimes():
+        rho = 0.02
+        return [
+            (n, iid_success_probability(n, rho), iid_allpairs_success_probability(n, rho))
+            for n in (4, 16, 48)
+        ]
+
+    rows = benchmark.pedantic(regimes, rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        for n, pair, whole in rows:
+            print(f"  N={n:2d}: pairwise={pair:.5f} whole-cluster={whole:.5f}")
+    assert rows[-1][1] >= rows[0][1] - 1e-9  # pairwise rises
+    assert rows[-1][2] < rows[0][2]          # whole-cluster decays
+
+
+def test_allpairs_mc_agreement(benchmark):
+    rng = np.random.default_rng(0)
+    estimate = benchmark.pedantic(
+        lambda: simulate_allpairs_success(16, 4, 150_000, rng), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert abs(estimate - allpairs_success_probability(16, 4)) < 0.005

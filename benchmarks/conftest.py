@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper artifact (figure, table, or prose
+checkpoint), asserts the reproduction invariants, and reports timing via
+pytest-benchmark.  Heavy DES-backed benchmarks use ``benchmark.pedantic``
+with a single round so the whole harness stays in the minutes range;
+analytic benchmarks let pytest-benchmark calibrate normally.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one measured round (for DES workloads)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

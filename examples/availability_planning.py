@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""From the paper's models to an SLA: downtime minutes per year.
+
+Combines Equation 1 (mixed over iid component lifetimes) with the measured
+DRS repair latency to answer the operator questions the paper's math
+enables but never states:
+
+* how many minutes per year is a server pair dark, per routing regime?
+* does growing the cluster help?  (any pair: yes; the whole cluster: no!)
+* what does the field-calibrated failure mix do to the uniform model?
+
+Run:  python examples/availability_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    hub_nic_weight_ratio,
+    iid_allpairs_success_probability,
+    iid_success_probability,
+    pair_availability,
+    simulate_weighted_success,
+    success_probability,
+)
+from repro.viz import render_table
+
+
+def main() -> None:
+    mtbf_h, mttr_h = 8_760.0, 24.0  # one failure per component-year, day-long RMA
+
+    rows = []
+    for repair_s, regime in [(1.1, "DRS (proactive)"), (9.0, "reactive"), (3600.0, "page a human")]:
+        report = pair_availability(n=10, mtbf_hours=mtbf_h, mttr_hours=mttr_h, repair_latency_s=repair_s)
+        rows.append([regime, repair_s, report.downtime_minutes_per_year, round(report.nines, 2)])
+    print(render_table(
+        ["routing regime", "repair latency (s)", "pair downtime (min/yr)", "nines"],
+        rows,
+        title="10-server cluster, per-component MTBF 1y / MTTR 24h",
+    ))
+
+    print()
+    rows = []
+    for n in (4, 8, 16, 32, 63):
+        rows.append([
+            n,
+            iid_success_probability(n, rho=0.0027),        # 24h/8784h
+            iid_allpairs_success_probability(n, rho=0.0027),
+        ])
+    print(render_table(
+        ["N", "P[a given pair up]", "P[whole cluster connected]"],
+        rows,
+        title="Scaling the cluster: pairs win, the collective loses",
+    ))
+
+    print()
+    rng = np.random.default_rng(0)
+    rows = []
+    for n, f in [(10, 2), (10, 3)]:
+        ratio = hub_nic_weight_ratio(n)
+        weighted = simulate_weighted_success(n, f, 200_000, rng, hub_weight=ratio)
+        rows.append([n, f, success_probability(n, f), weighted])
+    print(render_table(
+        ["N", "f", "Equation 1 (uniform)", "field-weighted (hub-heavy)"],
+        rows,
+        title="The uniform-failure assumption flatters the hubs",
+    ))
+    print("\ntakeaway: the dual backplane plus proactive repair buys ~4.3 nines for any "
+          "pair; the residual risk concentrates in the two shared hubs, which the "
+          "paper's uniform model undercounts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""A NOW/MPI-style parallel job riding out a NIC failure.
+
+The paper's introduction motivates DRS with networks of workstations running
+PVM/MPI codes: bulk-synchronous iterations where one dead link stalls every
+rank.  This example runs a ring-halo BSP job on an 8-server cluster, kills a
+NIC mid-run, and shows the per-iteration timeline: with DRS only the
+iterations overlapping the repair window stretch; without it the job hangs.
+
+Run:  python examples/mpi_job.py
+"""
+
+import statistics
+
+from repro import DrsConfig, Simulator, build_dual_backplane_cluster, install_drs, install_stacks
+from repro.cluster import MpiJobConfig, MpiRingJob, install_messaging
+
+
+def run_job(with_drs: bool):
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, n=8)
+    stacks = install_stacks(cluster)
+    if with_drs:
+        install_drs(cluster, stacks, DrsConfig(sweep_period_s=0.25))
+        sim.run(until=1.0)
+    comm = install_messaging(sim, stacks)
+    job = MpiRingJob(sim, comm, MpiJobConfig(iterations=60, compute_time_s=0.05, halo_bytes=16_384))
+    job.start()
+    sim.schedule(1.2, lambda: cluster.faults.fail("nic4.0"))  # mid-job failure
+    sim.run(until=sim.now + 120.0)
+    return job
+
+
+def main() -> None:
+    protected = run_job(with_drs=True)
+    times = protected.stats.iteration_times
+    median = statistics.median(times)
+    slow = [(i, t) for i, t in enumerate(times) if t > 3 * median]
+    print(f"with DRS: job {'completed' if protected.done else 'HUNG'}, "
+          f"{protected.stats.completed_iterations} iterations")
+    print(f"  median iteration {median * 1e3:.1f} ms, slowest {max(times) * 1e3:.1f} ms")
+    print(f"  iterations stretched by the failure: {[i for i, _ in slow]} "
+          f"(the repair window), everything else ran at full speed")
+
+    unprotected = run_job(with_drs=False)
+    print(f"\nwithout DRS: job {'completed' if unprotected.done else 'HUNG'} "
+          f"after {unprotected.stats.completed_iterations} iterations — "
+          f"the ring barrier never clears once rank 4 goes dark.")
+
+
+if __name__ == "__main__":
+    main()

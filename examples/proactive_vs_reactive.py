@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Proactive vs reactive routing: the paper's core comparison, measured.
+
+Injects the same NIC failure under four routing regimes and reports what a
+TCP application stream experienced — repair latency, worst message delay,
+and steady-state probe cost.  DRS's proactive probing pays bandwidth to buy
+detection latency; the reactive/RIP-style baselines pay nothing and wait out
+their timeout quantum.
+
+Run:  python examples/proactive_vs_reactive.py
+"""
+
+from repro.experiments.failover import PROTOCOLS, run_one
+from repro.viz import render_table
+
+
+def main() -> None:
+    rows = []
+    for protocol in PROTOCOLS:
+        outcome = run_one(protocol, "peer-nic", post_failure_s=30.0)
+        rows.append([
+            protocol,
+            f"{outcome.delivered_fraction:.1%}",
+            "yes" if outcome.recovered else "NO",
+            f"{outcome.repair_latency_s:.2f}" if outcome.repair_latency_s is not None else "never",
+            f"{outcome.worst_latency_s:.2f}" if outcome.delivered else "-",
+            f"{outcome.overhead_bps / 1e3:.1f}",
+        ])
+    print(render_table(
+        ["protocol", "delivered", "recovered", "repair (s)", "worst app delay (s)", "probe cost (kb/s)"],
+        rows,
+        title="One NIC failure, four routing regimes (6-node cluster)",
+    ))
+    print("\nthe proactive bet: DRS burns a steady trickle of probe bandwidth to fix "
+          "the route within ~1 sweep — inside the TCP retransmit window — while "
+          "reactive designs stall the application for their whole timeout quantum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: watch DRS hide a NIC failure from a server application.
+
+Builds the paper's topology (dual-NIC servers on two hubs), starts DRS
+daemons, streams TCP messages between two servers, kills a NIC mid-stream,
+and prints what the application saw — nothing, because DRS rerouted within
+one probe sweep.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DrsConfig, Simulator, build_dual_backplane_cluster, install_drs, install_stacks
+from repro.simkit import Process
+
+
+def main() -> None:
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, n=8)      # one deployed-size cluster
+    stacks = install_stacks(cluster)
+    install_drs(cluster, stacks, DrsConfig(sweep_period_s=0.5))
+
+    # A server application: node 0 streams messages to node 1 over TCP-lite.
+    delivered = []
+    stacks[1].tcp.listen(9000, on_message=lambda conn, data, size: delivered.append((sim.now, data)))
+    conn = stacks[0].tcp.connect(1, 9000)
+
+    def app():
+        seq = 0
+        while True:
+            conn.send_message(data=f"msg-{seq}", data_bytes=256)
+            seq += 1
+            yield 0.2
+
+    Process(sim, app(), name="app")
+
+    print("t=0.0   cluster up, DRS monitoring every link on both networks")
+    sim.run(until=3.0)
+    print(f"t=3.0   route 0->1: {stacks[0].table.lookup(1)}")
+
+    cluster.faults.fail("nic1.0")
+    print("t=3.0   FAILURE injected: node 1's NIC on network 0 died")
+    sim.run(until=6.0)
+    print(f"t=6.0   route 0->1: {stacks[0].table.lookup(1)}   (DRS swapped networks)")
+
+    repair = cluster.trace.last("drs-repair")
+    print(f"        repair took {repair.fields['repair_latency'] * 1e3:.1f} ms after detection")
+
+    sim.run(until=10.0)
+    stalls = [latency for latency in conn.message_latencies.values() if latency > 1.0]
+    print(f"t=10.0  app delivered {len(delivered)} messages, "
+          f"{len(stalls)} stalled beyond 1 s, "
+          f"{conn.retransmissions.value:.0f} TCP retransmissions")
+    print("        the failure was repaired inside the TCP retransmit window -- "
+          "the application never noticed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Hubs vs switches: what changes when the 1999 hardware is replaced.
+
+Runs the same DRS cluster on the paper's shared-medium hubs and on a
+modern switched fabric, and measures the two things that matter:
+
+1. failover behaviour — identical (a switch is still one shared component,
+   so Equation 1 and the DRS protocol are unchanged);
+2. capacity — parallel flows share one pipe on a hub but scale with ports
+   on a switch, relaxing the Figure-1 probe-budget constraint.
+
+Run:  python examples/switched_fabric.py
+"""
+
+from repro import DrsConfig, Simulator, install_drs, install_stacks
+from repro.netsim import build_dual_backplane_cluster, build_dual_switched_cluster
+from repro.simkit import Process
+from repro.viz import render_table
+
+
+def measure(build, label):
+    sim = Simulator()
+    cluster = build(sim, 6)
+    stacks = install_stacks(cluster)
+    install_drs(cluster, stacks, DrsConfig(sweep_period_s=0.25))
+    sim.run(until=1.0)
+
+    # three disjoint bulk flows
+    delivered = []
+    for i in range(3):
+        src, dst = 2 * i, 2 * i + 1
+        stacks[dst].tcp.listen(9000, on_message=lambda c, d, s: delivered.append(s))
+        conn = stacks[src].tcp.connect(dst, 9000, window_segments=64)
+
+        def pump(conn=conn):
+            while True:
+                conn.send_message(data_bytes=100_000)
+                yield 0.01
+
+        Process(sim, pump(), name=f"flow{i}")
+    sim.run(until=2.0)
+    goodput_mb = sum(delivered) / 1e6
+
+    # then a failure, measured the same way on both fabrics
+    t0 = sim.now
+    cluster.faults.fail("nic1.0")
+    sim.run(until=t0 + 1.0)
+    repairs = [
+        e for e in cluster.trace.entries("drs-repair")
+        if e.time > t0 and e.fields["node"] == 0 and e.fields["peer"] == 1
+    ]
+    repair_s = repairs[0].time - t0 if repairs else float("nan")
+    return [label, f"{goodput_mb:.1f}", f"{repair_s:.2f}"]
+
+
+def main() -> None:
+    rows = [
+        measure(build_dual_backplane_cluster, "hub (paper, shared medium)"),
+        measure(build_dual_switched_cluster, "switch (per-port links)"),
+    ]
+    print(render_table(
+        ["fabric", "3-flow goodput in 1 s (MB)", "DRS repair after NIC failure (s)"],
+        rows,
+        title="Same cluster, same protocol, two fabrics",
+    ))
+    print("\nthe protocol and its survivability math carry over unchanged; only the "
+          "bandwidth economics of Figure 1 improve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The deployment scenario: an MCI-style voice-mail cluster under failures.
+
+Runs the voice-mail workload (subscriber mailboxes sharded across servers,
+deposits/retrievals requiring server-to-server transfers) on a 10-server
+dual-backplane cluster, twice: once with DRS and once with static routing,
+while the same sequence of hardware failures strikes.  Compares how many
+operations the application saw stall.
+
+Run:  python examples/voicemail_cluster.py
+"""
+
+import numpy as np
+
+from repro import DrsConfig, Simulator, build_dual_backplane_cluster, install_drs, install_stacks
+from repro.baselines import install_static_only
+from repro.cluster import VoicemailCluster, VoicemailConfig, install_messaging
+from repro.netsim import FaultScenario
+from repro.viz import render_table
+
+#: The same failure script for both runs: a NIC dies, heals, then a hub dies.
+FAILURES = (
+    FaultScenario()
+    .fail(10.0, "nic2.0")
+    .repair(25.0, "nic2.0")
+    .fail(40.0, "hub0")
+    .repair(55.0, "hub0")
+)
+
+
+def run_once(protect_with_drs: bool, seed: int = 11) -> dict:
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, n=10)
+    stacks = install_stacks(cluster)
+    if protect_with_drs:
+        install_drs(cluster, stacks, DrsConfig(sweep_period_s=0.5))
+    else:
+        install_static_only(cluster, stacks)
+    comm = install_messaging(sim, stacks)
+    workload = VoicemailCluster(
+        sim,
+        comm,
+        VoicemailConfig(call_rate_per_s=10.0, message_bytes=24_000, stall_threshold_s=1.0),
+        rng=np.random.default_rng(seed),
+    )
+    scenario = FaultScenario(events=list(FAILURES.events))
+    cluster.faults.schedule(scenario)
+    workload.start()
+    sim.run(until=70.0)
+    workload.stop()
+    sim.run(until=90.0)  # drain in-flight transfers
+    workload.collect_completions()
+    stats = workload.stats
+    return {
+        "regime": "DRS" if protect_with_drs else "static",
+        "operations": stats.operations,
+        "transfers": stats.transfers,
+        "completed": stats.completed,
+        "completion": stats.completion_rate(),
+        "mean latency (s)": stats.mean_latency(),
+        "p99 latency (s)": stats.p99_latency(),
+        "stalled > 1s": stats.stalled,
+    }
+
+
+def main() -> None:
+    results = [run_once(protect_with_drs=True), run_once(protect_with_drs=False)]
+    headers = list(results[0])
+    print(render_table(headers, [[r[h] for h in headers] for r in results],
+                       title="Voice-mail cluster through a NIC failure and a hub failure"))
+    drs, static = results
+    print(f"\nDRS kept {drs['completion']:.1%} of transfers flowing with "
+          f"{drs['stalled > 1s']} visible stalls; static routing stalled "
+          f"{static['stalled > 1s']} operations and completed {static['completion']:.1%}.")
+
+
+if __name__ == "__main__":
+    main()

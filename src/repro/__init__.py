@@ -1,0 +1,78 @@
+"""repro — reproduction of the DRS network-survivability study.
+
+A. Chowdhury, O. Frieder, P. Luse, P.-J. Wan, *Network Survivability
+Simulation of a Commercially Deployed Dynamic Routing System Protocol*,
+IPDPS 2000 Workshops, LNCS 1800.
+
+The package layers, bottom to top:
+
+* :mod:`repro.simkit` — deterministic discrete-event simulation kernel,
+* :mod:`repro.netsim` — the dual-backplane cluster substrate (hubs, NICs,
+  fault injection),
+* :mod:`repro.protocols` — host stack: routing tables, forwarding IP layer,
+  ICMP, UDP, TCP-lite,
+* :mod:`repro.drs` — the Dynamic Routing System protocol (the paper's
+  contribution): proactive link monitoring + failover,
+* :mod:`repro.baselines` — reactive rerouting, RIP-like distance vector,
+  static routing,
+* :mod:`repro.analysis` — Equation 1 closed form, Monte Carlo validation,
+  proactive-cost model,
+* :mod:`repro.cluster` — messaging layer, voice-mail workload, fleet
+  failure-log generator,
+* :mod:`repro.experiments` — drivers regenerating every figure and table.
+
+Quickstart::
+
+    from repro import (
+        Simulator, build_dual_backplane_cluster, install_stacks,
+        DrsConfig, install_drs, success_probability,
+    )
+
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, n=10)
+    stacks = install_stacks(cluster)
+    install_drs(cluster, stacks, DrsConfig(sweep_period_s=0.5))
+    sim.run(until=2.0)
+    cluster.faults.fail("nic3.0")      # kill a NIC...
+    sim.run(until=4.0)                  # ...DRS reroutes around it
+    print(stacks[0].table.lookup(3))    # -> direct route on network 1
+
+    success_probability(18, 2)          # Equation 1: 0.9900...
+"""
+
+from repro.simkit import Simulator
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.drs import DrsConfig, install_drs
+from repro.baselines import install_distvector, install_reactive, install_static_only
+from repro.analysis import (
+    crossover_n,
+    simulate_success_probability,
+    success_curve,
+    success_probability,
+    sweep_time_s,
+)
+from repro.cluster import install_messaging
+from repro.scenario import load_scenario, run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "build_dual_backplane_cluster",
+    "install_stacks",
+    "DrsConfig",
+    "install_drs",
+    "install_reactive",
+    "install_distvector",
+    "install_static_only",
+    "install_messaging",
+    "success_probability",
+    "success_curve",
+    "crossover_n",
+    "simulate_success_probability",
+    "sweep_time_s",
+    "load_scenario",
+    "run_scenario",
+    "__version__",
+]

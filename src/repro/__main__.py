@@ -1,0 +1,25 @@
+"""``python -m repro``: package banner, version, and tool index."""
+
+import sys
+
+from repro import __version__, crossover_n, success_probability
+
+
+def main() -> int:
+    """Print what this package is and how to drive it."""
+    print(f"repro {__version__} — DRS network-survivability reproduction")
+    print("(Chowdhury, Frieder, Luse, Wan — IPDPS 2000 Workshops)")
+    print()
+    print(f"sanity: Equation 1 P[S](18, 2) = {success_probability(18, 2):.6f} "
+          f"(paper: first exceeds 0.99 at N=18; crossover_n(2) = {crossover_n(2)})")
+    print()
+    print("tools:")
+    print("  drs-experiments [--quick] [--html]   regenerate every figure/table")
+    print("  drs-sim SPEC.json [--compare]        run declarative scenarios")
+    print("  drs-analyze report N                 survivability calculator")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Survivability analysis: Equation 1, Monte Carlo validation, cost model.
+
+This package reproduces the paper's quantitative evaluation:
+
+* :mod:`~repro.analysis.exact` — the reconstructed closed form of
+  **Equation 1**: ``P[Success](N, f) = F(N, f) / C(2N+2, f)`` for a node
+  pair in an N-node dual-backplane cluster with exactly ``f`` failed
+  components.  Validated exhaustively (see :mod:`~repro.analysis.exhaustive`)
+  and against the paper's 0.99 crossovers (N=18/32/45 for f=2/3/4).
+* :mod:`~repro.analysis.exhaustive` — brute-force enumeration over all
+  ``C(2N+2, f)`` failure sets, with ablation switches (no two-hop routing,
+  single backplane) for the design-choice benchmarks.
+* :mod:`~repro.analysis.montecarlo` — the vectorized Monte Carlo estimator
+  (the paper's "DRS Simulation" used to validate the model, Figure 3).
+* :mod:`~repro.analysis.convergence` — mean-absolute-deviation-vs-iterations
+  study over ``f < N < 64`` (Figure 3 proper).
+* :mod:`~repro.analysis.cost` — the proactive-cost model of Figure 1:
+  probe-sweep response time vs cluster size under a bandwidth budget.
+* :mod:`~repro.analysis.qmodel` — the unconditional layer: failure-count
+  weights ``q^f`` combined with Equation 1.
+"""
+
+from repro.analysis.combinatorics import comb0, covering_nic_failures
+from repro.analysis.exact import (
+    bad_combinations,
+    crossover_n,
+    expected_dark_pairs,
+    good_combinations,
+    success_curve,
+    success_probability,
+    total_combinations,
+)
+from repro.analysis.exhaustive import enumerate_success_probability, pair_connected
+from repro.analysis.montecarlo import sample_failure_matrix, simulate_curve, simulate_success_probability
+from repro.analysis.convergence import convergence_study, mean_absolute_deviation
+from repro.analysis.cost import (
+    detection_time_s,
+    frame_size_sensitivity,
+    max_nodes_within,
+    probe_bits_per_sweep,
+    response_time_curve,
+    sweep_time_s,
+)
+from repro.analysis.qmodel import failure_count_pmf, unconditional_success
+from repro.analysis.allpairs import (
+    allpairs_good_combinations,
+    allpairs_success_curve,
+    allpairs_success_probability,
+    simulate_allpairs_success,
+)
+from repro.analysis.weighted import (
+    hub_nic_weight_ratio,
+    simulate_weighted_success,
+    weighted_failure_matrix,
+)
+from repro.analysis.stats import (
+    ProportionEstimate,
+    estimate_to_precision,
+    mc_success_estimate,
+    wilson_interval,
+)
+from repro.analysis.availability import (
+    AvailabilityReport,
+    component_unavailability,
+    iid_allpairs_success_probability,
+    iid_success_probability,
+    pair_availability,
+)
+
+__all__ = [
+    "comb0",
+    "covering_nic_failures",
+    "bad_combinations",
+    "good_combinations",
+    "total_combinations",
+    "success_probability",
+    "success_curve",
+    "crossover_n",
+    "expected_dark_pairs",
+    "enumerate_success_probability",
+    "pair_connected",
+    "simulate_success_probability",
+    "simulate_curve",
+    "sample_failure_matrix",
+    "mean_absolute_deviation",
+    "convergence_study",
+    "sweep_time_s",
+    "max_nodes_within",
+    "response_time_curve",
+    "detection_time_s",
+    "frame_size_sensitivity",
+    "probe_bits_per_sweep",
+    "failure_count_pmf",
+    "unconditional_success",
+    "allpairs_good_combinations",
+    "allpairs_success_probability",
+    "allpairs_success_curve",
+    "simulate_allpairs_success",
+    "weighted_failure_matrix",
+    "simulate_weighted_success",
+    "hub_nic_weight_ratio",
+    "component_unavailability",
+    "iid_success_probability",
+    "iid_allpairs_success_probability",
+    "pair_availability",
+    "AvailabilityReport",
+    "wilson_interval",
+    "estimate_to_precision",
+    "mc_success_estimate",
+    "ProportionEstimate",
+]

@@ -1,0 +1,144 @@
+"""Availability planning: from component lifetimes to downtime minutes.
+
+The paper's conditional model answers "given f failures, does the pair
+survive?"  Operators ask the unconditional, time-domain question: *how many
+minutes per year is server-to-server communication down?*  With components
+failing independently (exponential MTBF) and being repaired (MTTR), each
+component is down with stationary probability ``rho = MTTR / (MTBF + MTTR)``
+independently — and conditioned on the number of down components, the down
+*set* is uniform, which is exactly the regime Equation 1 covers.  Binomial
+mixing is therefore exact for the structural part::
+
+    P[pair ok] = sum_f  Binom(2N+2, rho, f) * P_Eq1(N, f)
+
+On top sits the transient term the structural model cannot see: each
+failure *event* that hits the pair's active path costs one DRS
+detection+repair latency of outage even though redundancy absorbs the
+failure structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.exact import success_probability
+
+MINUTES_PER_YEAR = 365.25 * 24 * 60
+
+
+def component_unavailability(mtbf_hours: float, mttr_hours: float) -> float:
+    """Stationary per-component down probability ``rho``."""
+    if mtbf_hours <= 0 or mttr_hours < 0:
+        raise ValueError("mtbf_hours must be positive and mttr_hours >= 0")
+    return mttr_hours / (mtbf_hours + mttr_hours)
+
+
+def iid_success_probability(n: int, rho: float, f_max: int | None = None) -> float:
+    """Structural pair availability under iid component up/down states."""
+    if not 0 <= rho < 1:
+        raise ValueError(f"rho must be in [0, 1), got {rho}")
+    width = 2 * n + 2
+    if f_max is None:
+        f_max = width
+    f_max = min(f_max, width)
+    fs = np.arange(f_max + 1)
+    # Binomial pmf via logs to stay stable for large N
+    from math import comb, log
+
+    log_rho = np.log(rho) if rho > 0 else -np.inf
+    log_1mrho = np.log1p(-rho)
+    total = 0.0
+    for f in fs:
+        if rho == 0 and f > 0:
+            break
+        log_pmf = log(comb(width, int(f))) + (f * log_rho if f else 0.0) + (width - f) * log_1mrho
+        total += np.exp(log_pmf) * success_probability(n, int(f))
+    return float(total)
+
+
+def iid_allpairs_success_probability(n: int, rho: float, f_max: int | None = None) -> float:
+    """Whole-cluster availability under iid component up/down states.
+
+    Unlike the pairwise mixture, this *decays* once the expected number of
+    down components ``rho * (2N+2)`` outgrows the redundancy — every extra
+    server adds two more NICs whose simultaneous loss isolates it.  The
+    crossover against :func:`iid_success_probability` is the planning
+    boundary between "any pair" and "the whole cluster" guarantees.
+    """
+    from repro.analysis.allpairs import allpairs_success_probability
+
+    if not 0 <= rho < 1:
+        raise ValueError(f"rho must be in [0, 1), got {rho}")
+    width = 2 * n + 2
+    if f_max is None:
+        f_max = width
+    f_max = min(f_max, width)
+    from math import comb, log
+
+    log_rho = np.log(rho) if rho > 0 else -np.inf
+    log_1mrho = np.log1p(-rho)
+    total = 0.0
+    for f in range(f_max + 1):
+        if rho == 0 and f > 0:
+            break
+        log_pmf = log(comb(width, f)) + (f * log_rho if f else 0.0) + (width - f) * log_1mrho
+        total += np.exp(log_pmf) * allpairs_success_probability(n, f)
+    return float(total)
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Structural + transient downtime budget for one configuration."""
+
+    n: int
+    rho: float
+    structural_availability: float
+    transient_availability: float
+    combined_availability: float
+    downtime_minutes_per_year: float
+    nines: float
+
+
+def pair_availability(
+    n: int,
+    mtbf_hours: float,
+    mttr_hours: float,
+    repair_latency_s: float,
+) -> AvailabilityReport:
+    """Full availability budget for a server pair in an N-node DRS cluster.
+
+    Parameters
+    ----------
+    n, mtbf_hours, mttr_hours:
+        Cluster size and per-component lifetime model (each of the 2N+2
+        components fails independently).
+    repair_latency_s:
+        DRS detection + repair time per failure event (e.g.
+        ``DrsConfig.detection_bound_s()`` plus the discovery timeout).
+
+    The transient term: the pair's active path uses 3 components (two NICs
+    and a hub); failure events arrive on each live component at rate
+    1/MTBF, so path-affecting events cost ``3 * repair_latency / MTBF`` of
+    outage fraction.
+    """
+    if repair_latency_s < 0:
+        raise ValueError("repair_latency_s must be >= 0")
+    rho = component_unavailability(mtbf_hours, mttr_hours)
+    structural = iid_success_probability(n, rho)
+    events_per_hour_on_path = 3.0 / mtbf_hours
+    transient_unavail = min(1.0, events_per_hour_on_path * (repair_latency_s / 3600.0))
+    transient = 1.0 - transient_unavail
+    combined = structural * transient
+    downtime = (1.0 - combined) * MINUTES_PER_YEAR
+    nines = float(-np.log10(1.0 - combined)) if combined < 1.0 else float("inf")
+    return AvailabilityReport(
+        n=n,
+        rho=rho,
+        structural_availability=structural,
+        transient_availability=transient,
+        combined_availability=combined,
+        downtime_minutes_per_year=downtime,
+        nines=nines,
+    )

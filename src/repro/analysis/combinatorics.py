@@ -1,0 +1,35 @@
+"""Small exact-combinatorics helpers shared by the survivability model."""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def comb0(n: int, k: int) -> int:
+    """``C(n, k)`` extended with 0 outside the valid domain.
+
+    The closed form of Equation 1 sums terms whose arguments go negative at
+    small ``f``; treating those as zero keeps one formula valid everywhere.
+    """
+    if n < 0 or k < 0 or k > n:
+        return 0
+    return comb(n, k)
+
+
+def covering_nic_failures(m: int, j: int) -> int:
+    """Ways to fail ``j`` NICs among ``m`` dual-NIC nodes hitting every node.
+
+    Each of the ``m`` intermediates must lose at least one of its two NICs.
+    With ``d`` nodes losing both NICs and ``m - d`` losing exactly one (2
+    choices each), ``j = m + d`` gives::
+
+        T(m, j) = C(m, j - m) * 2^(2m - j)      for m <= j <= 2m
+
+    and 0 otherwise.  This is the "crossed endpoints" correction term of the
+    reconstructed Equation 1: the only way a two-hop DRS repair can fail with
+    both hubs up and both endpoints half-alive is for every potential
+    intermediate router to have lost a NIC.
+    """
+    if m < 0 or j < m or j > 2 * m:
+        return 0
+    return comb(m, j - m) * 2 ** (2 * m - j)

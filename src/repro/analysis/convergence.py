@@ -1,0 +1,67 @@
+"""Figure 3: convergence of the simulation to Equation 1.
+
+"The y-axis represents the mean absolute difference between the simulation
+output and the equation value for f < N < 64.  The x-axis represents the
+number of iterations in log10 scale.  With 1,000 iterations, the mean
+absolute difference is less than [~0.01] for each of the fixed f values, and
+as the number of iterations increases the mean absolute difference converges
+to zero."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.exact import success_probability
+from repro.analysis.montecarlo import simulate_success_probability
+
+
+def mean_absolute_deviation(
+    f: int,
+    iterations: int,
+    rng: np.random.Generator,
+    n_max: int = 63,
+) -> float:
+    """Mean |simulated − exact| over the paper's domain ``f < N < 64``."""
+    ns = range(max(2, f + 1), n_max + 1)
+    deviations = [
+        abs(simulate_success_probability(n, f, iterations, rng) - success_probability(n, f))
+        for n in ns
+    ]
+    if not deviations:
+        raise ValueError(f"empty N domain for f={f}, n_max={n_max}")
+    return float(np.mean(deviations))
+
+
+@dataclass(frozen=True)
+class ConvergenceStudy:
+    """Result grid: MAD per (f, iteration count)."""
+
+    f_values: tuple[int, ...]
+    iteration_grid: tuple[int, ...]
+    mad: np.ndarray  # shape (len(f_values), len(iteration_grid))
+
+    def series(self, f: int) -> np.ndarray:
+        """The MAD-vs-iterations series for one f (one Figure 3 curve)."""
+        return self.mad[self.f_values.index(f)]
+
+
+def convergence_study(
+    f_values: list[int],
+    iteration_grid: list[int],
+    rng: np.random.Generator,
+    n_max: int = 63,
+) -> ConvergenceStudy:
+    """Regenerate Figure 3's data: MAD for each f over an iteration grid.
+
+    The paper uses f = 2..10 and a log10-spaced iteration axis.
+    """
+    mad = np.empty((len(f_values), len(iteration_grid)))
+    for i, f in enumerate(f_values):
+        for j, iters in enumerate(iteration_grid):
+            mad[i, j] = mean_absolute_deviation(f, iters, rng, n_max=n_max)
+    return ConvergenceStudy(
+        f_values=tuple(f_values), iteration_grid=tuple(iteration_grid), mad=mad
+    )

@@ -1,0 +1,113 @@
+"""Equation 1: the exact pairwise survivability of a DRS cluster.
+
+Model (reconstructed from the paper; full derivation in DESIGN.md §2):
+
+* Components: ``2N`` NICs + 2 backplanes = ``2N + 2`` equiprobable failure
+  sites; exactly ``f`` of them fail, chosen uniformly without replacement.
+* Success: a fixed node pair (A, B) can still communicate under DRS rules —
+  directly on either network, or two-hop via an intermediate whose relevant
+  NICs survive.
+
+Counting the *bad* combinations ``B(N, f)`` by conditioning on hub state::
+
+    B(N,f) =  C(2N, f-2)                      # both hubs down
+           + 2[C(2N, f-1) - C(2N-2, f-1)]     # one hub down AND an endpoint
+                                              #   NIC on the surviving net down
+           + 2 C(2N-2, f-2) - C(2N-4, f-4)    # an endpoint fully dead
+                                              #   (both hubs up); inclusion-
+                                              #   exclusion for both dead
+           + 2 T(N-2, f-2)                    # crossed half-alive endpoints,
+                                              #   every intermediate hit
+
+    P[Success](N, f) = 1 - B(N, f) / C(2N+2, f)        (Equation 1)
+
+with ``T`` from :func:`repro.analysis.combinatorics.covering_nic_failures`.
+The formula is exact for every valid (N, f); the test suite checks it
+against exhaustive enumeration and against the paper's stated crossovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.combinatorics import comb0, covering_nic_failures
+
+
+def _validate(n: int, f: int) -> None:
+    if n < 2:
+        raise ValueError(f"the pair model needs N >= 2 nodes, got {n}")
+    if f < 0 or f > 2 * n + 2:
+        raise ValueError(f"f must be in [0, 2N+2] = [0, {2 * n + 2}], got {f}")
+
+
+def total_combinations(n: int, f: int) -> int:
+    """All ways to place exactly ``f`` failures: ``C(2N+2, f)``."""
+    _validate(n, f)
+    return comb0(2 * n + 2, f)
+
+
+def bad_combinations(n: int, f: int) -> int:
+    """Failure sets of size ``f`` that disconnect the fixed pair under DRS."""
+    _validate(n, f)
+    both_hubs = comb0(2 * n, f - 2)
+    one_hub = 2 * (comb0(2 * n, f - 1) - comb0(2 * n - 2, f - 1))
+    endpoint_dead = 2 * comb0(2 * n - 2, f - 2) - comb0(2 * n - 4, f - 4)
+    crossed = 2 * covering_nic_failures(n - 2, f - 2)
+    return both_hubs + one_hub + endpoint_dead + crossed
+
+
+def good_combinations(n: int, f: int) -> int:
+    """``F(N, f)``: the numerator of Equation 1."""
+    return total_combinations(n, f) - bad_combinations(n, f)
+
+
+def success_probability(n: int, f: int) -> float:
+    """Equation 1: ``P[Success](N, f) = F(N, f) / C(2N+2, f)``."""
+    total = total_combinations(n, f)
+    if total == 0:
+        raise ValueError(f"no failure sets of size {f} exist for N={n}")
+    return 1.0 - bad_combinations(n, f) / total
+
+
+def success_curve(f: int, n_max: int = 63, n_min: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """P[Success] versus N for fixed ``f`` — one series of Figure 2.
+
+    Defaults follow the paper's plotting domain ``f < N < 64``.
+
+    Returns
+    -------
+    (n_values, probabilities) as NumPy arrays.
+    """
+    if n_min is None:
+        n_min = max(2, f + 1)
+    if n_min > n_max:
+        raise ValueError(f"empty N range [{n_min}, {n_max}]")
+    ns = np.arange(n_min, n_max + 1)
+    ps = np.array([success_probability(int(n), f) for n in ns])
+    return ns, ps
+
+
+def expected_dark_pairs(n: int, f: int) -> float:
+    """Expected number of disconnected pairs given exactly ``f`` failures.
+
+    By exchangeability every pair shares Equation 1's survival probability,
+    so linearity of expectation gives ``C(N,2) * (1 - P[Success](N,f))``
+    exactly — no joint distribution needed.  A useful capacity-planning
+    bridge between the pairwise and all-pairs views.
+    """
+    pairs = n * (n - 1) // 2
+    return pairs * (1.0 - success_probability(n, f))
+
+
+def crossover_n(f: int, threshold: float = 0.99, n_max: int = 10_000) -> int:
+    """Smallest N at which P[Success](N, f) surpasses ``threshold``.
+
+    The paper's checkpoints: crossover at 18 (f=2), 32 (f=3), 45 (f=4).
+    Monotonicity of Equation 1 in N makes the linear scan sound.
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    for n in range(max(2, f + 1), n_max + 1):
+        if success_probability(n, f) > threshold:
+            return n
+    raise ValueError(f"no crossover below N={n_max} for f={f}, threshold={threshold}")

@@ -1,0 +1,50 @@
+"""The unconditional failure-count layer of the paper's model.
+
+The paper argues the *number* of simultaneous failures has geometrically
+decaying probability: "the probability of 2 failures in any system will be
+q^2, the probability of 3 failures will be q^3, and the probability of f
+failures will be q^f … the probability of multiple failures in a system
+decreases exponentially."  Combining those weights with the conditional
+Equation 1 gives a time-independent unconditional survivability
+
+    P[Success] = sum_f  w(f; q) * P[Success | f]                  (here)
+
+with ``w(f; q) = (1 - q) q^f`` — the normalized geometric form of the
+paper's ``q^f`` weights.  Since Equation 1 → 1 as N grows for every fixed
+f, and the weights are summable, the unconditional survivability also
+converges to 1 — the paper's ``lim_{N→∞} P[S] = 1`` conclusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.exact import success_probability
+
+
+def failure_count_pmf(q: float, f_max: int) -> np.ndarray:
+    """Truncated geometric pmf ``w(f) ∝ q^f`` for f = 0..f_max, renormalized.
+
+    ``q`` is the per-level failure likelihood ratio (the paper's q); small q
+    means multiple simultaneous failures are rare.
+    """
+    if not 0 <= q < 1:
+        raise ValueError(f"q must be in [0, 1), got {q}")
+    if f_max < 0:
+        raise ValueError("f_max must be >= 0")
+    weights = q ** np.arange(f_max + 1)
+    return weights / weights.sum()
+
+
+def unconditional_success(n: int, q: float, f_max: int | None = None) -> float:
+    """Unconditional pair survivability: Equation 1 mixed over ``w(f; q)``.
+
+    ``f_max`` defaults to the physical maximum ``2n + 2`` (every component
+    failed).
+    """
+    if f_max is None:
+        f_max = 2 * n + 2
+    f_max = min(f_max, 2 * n + 2)
+    pmf = failure_count_pmf(q, f_max)
+    conditional = np.array([success_probability(n, f) for f in range(f_max + 1)])
+    return float(pmf @ conditional)

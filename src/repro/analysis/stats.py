@@ -1,0 +1,125 @@
+"""Statistical accounting for the Monte Carlo estimators.
+
+The paper reports raw simulation means; a production harness should also
+say how sure it is.  This module provides
+
+* the Wilson score interval for Bernoulli proportions (well-behaved near 0
+  and 1, where survivability estimates live), and
+* :func:`estimate_to_precision` — run the Monte Carlo in growing batches
+  until the interval half-width reaches a target, so callers ask for a
+  precision instead of guessing an iteration count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """A Bernoulli-proportion estimate with its Wilson interval."""
+
+    successes: int
+    trials: int
+    confidence: float
+    point: float
+    low: float
+    high: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width — the precision actually achieved."""
+        return (self.high - self.low) / 2.0
+
+
+#: two-sided z for common confidence levels (no scipy needed at runtime)
+_Z_TABLE = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z_for(confidence: float) -> float:
+    try:
+        return _Z_TABLE[round(confidence, 2)]
+    except KeyError:
+        raise ValueError(f"confidence must be one of {sorted(_Z_TABLE)}, got {confidence}") from None
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> ProportionEstimate:
+    """Wilson score interval for ``successes`` out of ``trials``."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, trials], got {successes}/{trials}")
+    z = _z_for(confidence)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denominator
+    margin = z * np.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials)) / denominator
+    return ProportionEstimate(
+        successes=successes,
+        trials=trials,
+        confidence=confidence,
+        point=p,
+        low=max(0.0, float(center - margin)),
+        high=min(1.0, float(center + margin)),
+    )
+
+
+def estimate_to_precision(
+    trial_batch: Callable[[int], int],
+    target_half_width: float,
+    confidence: float = 0.95,
+    batch: int = 10_000,
+    max_trials: int = 5_000_000,
+) -> ProportionEstimate:
+    """Run ``trial_batch(k) -> successes`` until the Wilson CI is tight enough.
+
+    Parameters
+    ----------
+    trial_batch:
+        Callable running ``k`` Bernoulli trials and returning the success
+        count (e.g. a closure over the vectorized survivability predicate).
+    target_half_width:
+        Stop once the interval half-width is at or below this.
+    batch, max_trials:
+        Batch size per round and the hard trial budget; hitting the budget
+        returns the best estimate achieved rather than raising.
+    """
+    if target_half_width <= 0:
+        raise ValueError("target_half_width must be positive")
+    if batch <= 0 or max_trials <= 0:
+        raise ValueError("batch and max_trials must be positive")
+    successes = 0
+    trials = 0
+    estimate = None
+    while trials < max_trials:
+        size = min(batch, max_trials - trials)
+        got = int(trial_batch(size))
+        if not 0 <= got <= size:
+            raise ValueError(f"trial_batch returned {got} successes for {size} trials")
+        successes += got
+        trials += size
+        estimate = wilson_interval(successes, trials, confidence)
+        if estimate.half_width <= target_half_width:
+            return estimate
+    return estimate
+
+
+def mc_success_estimate(
+    n: int,
+    f: int,
+    rng: np.random.Generator,
+    target_half_width: float = 0.001,
+    confidence: float = 0.95,
+    **kwargs,
+) -> ProportionEstimate:
+    """Pair survivability with a confidence interval at requested precision."""
+    from repro.analysis.montecarlo import pair_connected_vec, sample_failure_matrix
+
+    def batch(k: int) -> int:
+        return int(pair_connected_vec(sample_failure_matrix(n, f, k, rng)).sum())
+
+    return estimate_to_precision(batch, target_half_width, confidence, **kwargs)

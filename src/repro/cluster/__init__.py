@@ -1,0 +1,45 @@
+"""Cluster application layer: workloads that ride on the protocol stack.
+
+The paper motivates DRS with distributed server applications (NOW/PVM/MPI
+clusters, and the deployed MCI WorldCom voice-mail clusters).  This package
+provides the application-level pieces the experiments drive:
+
+* :mod:`~repro.cluster.messaging` — an MPI-flavoured reliable message layer
+  (send/receive/broadcast with delivery-latency tracking) built on TCP-lite,
+* :mod:`~repro.cluster.voicemail` — a voice-mail server workload: subscriber
+  mailboxes sharded across the cluster, deposits/retrievals that require
+  server-to-server transfers,
+* :mod:`~repro.cluster.failurelog` — a synthetic fleet failure log
+  calibrated to the paper's one-year field study (13% of hardware failures
+  network-related).
+"""
+
+from repro.cluster.messaging import ClusterComm, Endpoint, install_messaging
+from repro.cluster.voicemail import VoicemailCluster, VoicemailConfig, VoicemailStats
+from repro.cluster.mpijob import MpiJobConfig, MpiJobStats, MpiRingJob
+from repro.cluster.failurelog import (
+    FailureEvent,
+    FailureLogConfig,
+    category_breakdown,
+    generate_failure_log,
+    network_fraction,
+    to_fault_scenario,
+)
+
+__all__ = [
+    "Endpoint",
+    "ClusterComm",
+    "install_messaging",
+    "VoicemailCluster",
+    "VoicemailConfig",
+    "VoicemailStats",
+    "MpiRingJob",
+    "MpiJobConfig",
+    "MpiJobStats",
+    "FailureEvent",
+    "FailureLogConfig",
+    "generate_failure_log",
+    "category_breakdown",
+    "network_fraction",
+    "to_fault_scenario",
+]

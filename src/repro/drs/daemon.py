@@ -1,0 +1,130 @@
+"""The DRS daemon: monitor + failover + periodic path validation.
+
+"The DRS demon loops through a cycle of monitoring communication links,
+answering requests, and fixing problems as they occur, for the life of the
+server cluster."  Request answering is event-driven (ICMP echo responder and
+the UDP control handler registered by the failover engine); this class wires
+the pieces together per node and runs the periodic loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drs.config import DrsConfig
+from repro.drs.failover import FailoverEngine
+from repro.drs.monitor import LinkMonitor
+from repro.drs.state import PeerTable
+from repro.netsim.topology import Cluster
+from repro.protocols.stack import HostStack
+from repro.simkit import Process, Simulator, TraceRecorder
+
+
+class DrsDaemon:
+    """One node's DRS instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: HostStack,
+        peers: list[int],
+        config: DrsConfig,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.config = config
+        self.table = PeerTable(owner=stack.node.node_id, peers=peers, networks=stack.node.networks)
+        self.monitor = LinkMonitor(sim, stack.icmp, self.table, config)
+        self.failover = FailoverEngine(sim, stack, self.table, config, trace=trace)
+        # Triggered updates (notify_peers): notifications prompt an immediate
+        # out-of-band recheck of the announced link.
+        self.failover.recheck_link = lambda peer, net: self.monitor.immediate_recheck(peer, net, lambda up: None)
+        self._path_check_proc: Process | None = None
+
+    @property
+    def node_id(self) -> int:
+        """The node this daemon runs on."""
+        return self.stack.node.node_id
+
+    def start(self) -> None:
+        """Start the monitor loop and the periodic path checker."""
+        self.monitor.start()
+        if self._path_check_proc is None or self._path_check_proc.finished:
+            self._path_check_proc = Process(self.sim, self._path_check_loop(), name=f"drs{self.node_id}.pathcheck")
+
+    def stop(self) -> None:
+        """Stop periodic activity (control-plane handlers stay registered)."""
+        self.monitor.stop()
+        if self._path_check_proc is not None:
+            self._path_check_proc.kill()
+            self._path_check_proc = None
+
+    @property
+    def running(self) -> bool:
+        """True while the monitor loop is active."""
+        return self.monitor.running
+
+    def _path_check_loop(self):
+        while True:
+            yield self.config.path_check_period_s
+            self.failover.check_repaired_paths()
+
+    # ------------------------------------------------------------ diagnostics
+    def probe_overhead_bytes(self) -> float:
+        """Request-side probe bytes this daemon has put on the wire."""
+        return self.monitor.probe_bytes.value
+
+    def repairs_made(self) -> int:
+        """Total successful repair installations (direct swaps + two-hop)."""
+        return int(self.failover.repairs.value)
+
+
+@dataclass
+class DrsDeployment:
+    """All daemons of one cluster plus the shared configuration."""
+
+    config: DrsConfig
+    daemons: dict[int, DrsDaemon]
+
+    def start(self) -> None:
+        """Start every daemon."""
+        for daemon in self.daemons.values():
+            daemon.start()
+
+    def stop(self) -> None:
+        """Stop every daemon."""
+        for daemon in self.daemons.values():
+            daemon.stop()
+
+    def total_probe_bytes(self) -> float:
+        """Cluster-wide request-side probe bytes."""
+        return sum(d.probe_overhead_bytes() for d in self.daemons.values())
+
+    def total_repairs(self) -> int:
+        """Cluster-wide successful repairs."""
+        return sum(d.repairs_made() for d in self.daemons.values())
+
+
+def install_drs(
+    cluster: Cluster,
+    stacks: dict[int, HostStack],
+    config: DrsConfig | None = None,
+    start: bool = True,
+) -> DrsDeployment:
+    """Install (and by default start) a DRS daemon on every cluster node.
+
+    Every daemon monitors every other node on both networks — the full-mesh
+    check schedule the paper's deployment used within a cluster.
+    """
+    if config is None:
+        config = DrsConfig()
+    node_ids = [node.node_id for node in cluster.nodes]
+    daemons = {
+        node_id: DrsDaemon(cluster.sim, stacks[node_id], peers=node_ids, config=config, trace=cluster.trace)
+        for node_id in node_ids
+    }
+    deployment = DrsDeployment(config=config, daemons=daemons)
+    if start:
+        deployment.start()
+    return deployment

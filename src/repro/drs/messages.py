@@ -1,0 +1,85 @@
+"""DRS control-plane messages (carried as UDP datagram payloads).
+
+Sizes are declared explicitly so the control traffic is accounted on the
+wire like everything else; they approximate a compact binary encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.addresses import NetworkId, NodeId
+
+#: Well-known UDP port every DRS daemon binds.
+DRS_PORT = 1112
+
+DISCOVERY_REQUEST_BYTES = 24
+ROUTE_OFFER_BYTES = 28
+INSTALL_REQUEST_BYTES = 24
+INSTALL_ACK_BYTES = 16
+LINK_DOWN_NOTIFICATION_BYTES = 20
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveryRequest:
+    """Broadcast by a node that lost all direct links to ``target``.
+
+    "A broadcast is made to identify whether or not some other server is
+    able to act as a router" — the arrival network of the broadcast is,
+    by construction, a working first leg from the origin to the responder.
+    """
+
+    origin: NodeId
+    target: NodeId
+    request_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class RouteOffer:
+    """A volunteer router's answer to a discovery request.
+
+    ``leg2_network`` is the network on which the volunteer's own monitor
+    currently believes its direct link to the target is UP.  When the
+    *target itself* answers (the origin's link belief was stale), the offer
+    has ``router == target`` and the origin simply restores the direct route
+    on the arrival network.
+    """
+
+    router: NodeId
+    target: NodeId
+    request_id: int
+    leg2_network: NetworkId
+
+
+@dataclass(frozen=True, slots=True)
+class RouteInstallRequest:
+    """Origin asks the chosen volunteer to pin its direct leg to the target."""
+
+    origin: NodeId
+    target: NodeId
+    request_id: int
+    leg2_network: NetworkId
+
+
+@dataclass(frozen=True, slots=True)
+class InstallAck:
+    """Volunteer confirms the second leg is pinned; origin activates the route."""
+
+    router: NodeId
+    target: NodeId
+    request_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDownNotification:
+    """Optional triggered update (``DrsConfig.notify_peers``).
+
+    The first daemon to declare a link DOWN tells everyone, so peers can
+    recheck that link immediately instead of waiting out their own sweep and
+    retry budget — cutting cluster-wide convergence to roughly the first
+    detector's latency plus one probe.
+    """
+
+    origin: NodeId
+    peer: NodeId
+    network: NetworkId

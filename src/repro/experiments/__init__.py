@@ -1,0 +1,56 @@
+"""Experiment drivers: one module per paper artifact.
+
+Each driver exposes ``run(...) -> ExperimentResult`` producing the same
+rows/series the paper reports, and the CLI in :mod:`~repro.experiments.runner`
+(`drs-experiments`) regenerates everything into CSV + text reports.
+
+| id          | paper artifact                              | module          |
+|-------------|---------------------------------------------|-----------------|
+| figure1     | Fig. 1 response time vs N per budget        | ``figure1``     |
+| figure2     | Fig. 2 P[Success] vs N, f=2..10             | ``figure2``     |
+| figure3     | Fig. 3 MC convergence (MAD vs iterations)   | ``figure3``     |
+| crossovers  | prose 0.99 crossovers (18/32/45)            | ``crossovers``  |
+| motivation  | prose 13% network-failure share             | ``motivation``  |
+| failover    | proactive vs reactive outage (DES)          | ``failover``    |
+| desval      | DES survivability vs Equation 1             | ``desvalidation`` |
+| ablations   | two-hop / dual-backplane / sweep period     | ``ablations``   |
+| grayfailure | false positives under random frame loss    | ``grayfailure`` |
+| wholecluster| pairwise vs all-pairs survivability         | ``wholecluster``|
+| availability| downtime minutes/year planning               | ``availability``|
+| scenarios   | every shipped drs-sim scenario, end to end  | ``scenariosuite``|
+| scaling     | deployed-range size sweep + feasibility     | ``scaling``     |
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    ablations,
+    availability,
+    crossovers,
+    desvalidation,
+    failover,
+    figure1,
+    figure2,
+    figure3,
+    grayfailure,
+    motivation,
+    scaling,
+    scenariosuite,
+    wholecluster,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "figure1",
+    "figure2",
+    "figure3",
+    "crossovers",
+    "motivation",
+    "failover",
+    "desvalidation",
+    "ablations",
+    "grayfailure",
+    "wholecluster",
+    "availability",
+    "scenariosuite",
+    "scaling",
+]

@@ -1,0 +1,157 @@
+"""Common experiment-result container and report rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.viz import line_chart, render_table, write_csv
+from repro.viz.svg import svg_line_chart
+
+
+@dataclass
+class Table:
+    """One named table of results."""
+
+    headers: list[str]
+    rows: list[list[Any]]
+    caption: str = ""
+
+
+@dataclass
+class Series:
+    """One named family of (x, y) curves for a figure."""
+
+    curves: dict[str, tuple[Sequence[float], Sequence[float]]]
+    x_label: str = ""
+    y_label: str = ""
+    x_log: bool = False
+    y_log: bool = False
+    caption: str = ""
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    series: dict[str, Series] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, key: str, headers: list[str], rows: list[list[Any]], caption: str = "") -> None:
+        """Attach a table under ``key``."""
+        self.tables[key] = Table(headers=headers, rows=rows, caption=caption)
+
+    def add_series(self, key: str, curves: dict, caption: str = "", **axis: Any) -> None:
+        """Attach a curve family under ``key``."""
+        self.series[key] = Series(curves=curves, caption=caption, **axis)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form observation to the report."""
+        self.notes.append(text)
+
+    # -------------------------------------------------------------- rendering
+    def render(self, chart_width: int = 72, chart_height: int = 18) -> str:
+        """Full text report: tables, ASCII charts, notes."""
+        parts = [f"=== {self.name} ==="]
+        for key, table in self.tables.items():
+            parts.append(render_table(table.headers, table.rows, title=table.caption or key))
+        for key, s in self.series.items():
+            parts.append(
+                line_chart(
+                    s.curves,
+                    width=chart_width,
+                    height=chart_height,
+                    title=s.caption or key,
+                    x_label=s.x_label,
+                    y_label=s.y_label,
+                    x_log=s.x_log,
+                    y_log=s.y_log,
+                )
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def render_html(self) -> str:
+        """HTML fragment: tables, inline-SVG figures, notes."""
+        from xml.sax.saxutils import escape
+
+        parts = [f"<section><h2>{escape(self.name)}</h2>"]
+        for key, table in self.tables.items():
+            parts.append(f"<h3>{escape(table.caption or key)}</h3><table border='1' cellspacing='0' cellpadding='4'>")
+            parts.append("<tr>" + "".join(f"<th>{escape(str(h))}</th>" for h in table.headers) + "</tr>")
+            for row in table.rows:
+                cells = "".join(
+                    f"<td>{escape(f'{v:.6g}' if isinstance(v, float) else str(v))}</td>" for v in row
+                )
+                parts.append(f"<tr>{cells}</tr>")
+            parts.append("</table>")
+        for key, s in self.series.items():
+            parts.append(
+                svg_line_chart(
+                    s.curves,
+                    title=s.caption or key,
+                    x_label=s.x_label,
+                    y_label=s.y_label,
+                    x_log=s.x_log,
+                    y_log=s.y_log,
+                )
+            )
+        for note in self.notes:
+            parts.append(f"<p><em>{escape(note)}</em></p>")
+        parts.append("</section>")
+        return "\n".join(parts)
+
+    def write(self, out_dir: str | Path) -> list[Path]:
+        """Write the text report plus one CSV per table and per series."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = []
+        report = out_dir / f"{self.name}.txt"
+        report.write_text(self.render() + "\n")
+        written.append(report)
+        for key, table in self.tables.items():
+            written.append(write_csv(out_dir / f"{self.name}_{key}.csv", table.headers, table.rows))
+        for key, s in self.series.items():
+            headers = ["x"] + list(s.curves)
+            xs = None
+            aligned = True
+            for curve_x, _ in s.curves.values():
+                if xs is None:
+                    xs = list(curve_x)
+                elif list(curve_x) != xs:
+                    aligned = False
+            if aligned and xs is not None:
+                rows = [[x, *(list(ys)[i] for _, ys in s.curves.values())] for i, x in enumerate(xs)]
+                written.append(write_csv(out_dir / f"{self.name}_{key}.csv", headers, rows))
+            else:
+                # unaligned x grids: long format
+                rows = [
+                    [name, x, y]
+                    for name, (curve_x, curve_y) in s.curves.items()
+                    for x, y in zip(curve_x, curve_y)
+                ]
+                written.append(write_csv(out_dir / f"{self.name}_{key}.csv", ["series", "x", "y"], rows))
+        return written
+
+
+def write_html_index(results: list["ExperimentResult"], out_dir: str | Path) -> Path:
+    """Write one self-contained HTML page covering all results."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    body = "\n".join(result.render_html() for result in results)
+    page = (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>DRS reproduction results</title>"
+        "<style>body{font-family:sans-serif;max-width:960px;margin:2em auto;}"
+        "table{border-collapse:collapse;margin:1em 0;}th{background:#f0f0f0;}"
+        "td,th{text-align:right;}td:first-child,th:first-child{text-align:left;}</style>"
+        "</head><body><h1>DRS network-survivability reproduction</h1>"
+        f"{body}</body></html>"
+    )
+    path = out_dir / "index.html"
+    path.write_text(page)
+    return path

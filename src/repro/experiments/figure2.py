@@ -1,0 +1,66 @@
+"""FIG2 — "Convergence of P[Success] to 1".
+
+Regenerates the paper's Figure 2: Equation-1 P[Success] versus cluster size
+for f = 2..10 simultaneous failures over the paper's domain f < N < 64,
+optionally overlaid with Monte Carlo estimates from the validation
+simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import simulate_curve, success_curve
+from repro.experiments.base import ExperimentResult
+
+F_VALUES = tuple(range(2, 11))
+
+
+def run(
+    f_values: tuple[int, ...] = F_VALUES,
+    n_max: int = 63,
+    mc_iterations: int = 0,
+    seed: int = 2000,
+) -> ExperimentResult:
+    """Regenerate Figure 2.
+
+    ``mc_iterations > 0`` adds a Monte Carlo overlay series per f (the
+    paper's simulation points).
+    """
+    result = ExperimentResult("figure2")
+    curves: dict[str, tuple] = {}
+    for f in f_values:
+        ns, ps = success_curve(f, n_max=n_max)
+        curves[f"f={f}"] = (ns, ps)
+    result.add_series(
+        "equation1",
+        curves,
+        caption="Figure 2: P[Success] vs nodes (Equation 1)",
+        x_label="nodes",
+        y_label="P[Success]",
+    )
+    if mc_iterations > 0:
+        rng = np.random.default_rng(seed)
+        mc_curves: dict[str, tuple] = {}
+        for f in f_values:
+            ns, ps = simulate_curve(f, iterations=mc_iterations, rng=rng, n_max=n_max)
+            mc_curves[f"sim f={f}"] = (ns, ps)
+        result.add_series(
+            "montecarlo",
+            mc_curves,
+            caption=f"Figure 2 overlay: Monte Carlo, {mc_iterations} iterations",
+            x_label="nodes",
+            y_label="P[Success]",
+        )
+    # summary rows the paper quotes in prose
+    rows = []
+    for f in f_values:
+        ns, ps = curves[f"f={f}"]
+        rows.append([f, float(ps[0]), float(ps[-1])])
+    result.add_table(
+        "endpoints",
+        ["f", f"P[S] at N=f+1", f"P[S] at N={n_max}"],
+        rows,
+        caption="Curve endpoints: every f-series climbs toward 1",
+    )
+    return result

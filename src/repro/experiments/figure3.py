@@ -1,0 +1,61 @@
+"""FIG3 — "Convergence of Simulation Results to Equation Results".
+
+Regenerates the paper's Figure 3: for f = 2..10, the mean absolute
+difference between the Monte Carlo estimate and Equation 1 over f < N < 64,
+as a function of iteration count (log10 x-axis).  The paper's stated
+checkpoint: with 1,000 iterations the deviation is below ~0.01 for every f,
+and it converges toward zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import convergence_study
+from repro.experiments.base import ExperimentResult
+
+ITERATION_GRID = (10, 30, 100, 300, 1_000, 3_000, 10_000)
+F_VALUES = tuple(range(2, 11))
+
+
+def run(
+    f_values: tuple[int, ...] = F_VALUES,
+    iteration_grid: tuple[int, ...] = ITERATION_GRID,
+    n_max: int = 63,
+    seed: int = 2000,
+) -> ExperimentResult:
+    """Regenerate Figure 3."""
+    rng = np.random.default_rng(seed)
+    study = convergence_study(list(f_values), list(iteration_grid), rng, n_max=n_max)
+    result = ExperimentResult("figure3")
+    curves = {
+        f"f={f}": (np.array(iteration_grid, dtype=float), study.series(f))
+        for f in f_values
+    }
+    result.add_series(
+        "mad",
+        curves,
+        caption="Figure 3: mean |simulation - Equation 1| over f<N<64",
+        x_label="iterations",
+        y_label="mean absolute deviation",
+        x_log=True,
+    )
+    if 1_000 in iteration_grid:
+        column = iteration_grid.index(1_000)
+        rows = [[f, float(study.mad[i, column])] for i, f in enumerate(f_values)]
+        result.add_table(
+            "at_1000_iterations",
+            ["f", "MAD at 1,000 iterations"],
+            rows,
+            caption="Paper checkpoint: MAD < ~0.01 at 1,000 iterations for every f",
+        )
+        worst = max(float(study.mad[i, column]) for i in range(len(f_values)))
+        result.note(f"worst-case MAD at 1,000 iterations: {worst:.5f} (paper bound ~0.01)")
+    # slope check: MC error should shrink ~ 1/sqrt(iterations)
+    first, last = study.mad[:, 0].mean(), study.mad[:, -1].mean()
+    expected_ratio = (iteration_grid[-1] / iteration_grid[0]) ** 0.5
+    result.note(
+        f"mean MAD shrank {first / last:.1f}x from {iteration_grid[0]} to "
+        f"{iteration_grid[-1]} iterations (1/sqrt scaling predicts ~{expected_ratio:.1f}x)"
+    )
+    return result

@@ -1,0 +1,119 @@
+"""EXP-GRAY — DRS robustness to random frame loss (gray failures).
+
+The deployed protocol's probe-retry threshold exists for exactly one
+reason: a single lost probe on a healthy but lossy segment must not trigger
+a reroute.  This experiment runs a *healthy* cluster whose segments drop
+frames at random and measures, per (loss rate, retry threshold):
+
+* the false-positive rate (spurious DOWN declarations per link-hour),
+* the resulting spurious repairs (route flaps),
+
+and, for the detection side of the trade-off, the added latency a higher
+threshold costs when a real failure occurs under the same loss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.drs import DrsConfig, install_drs
+from repro.experiments.base import ExperimentResult
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.simkit import Simulator
+
+BASE_CONFIG = DrsConfig(sweep_period_s=0.5, probe_timeout_s=0.01, discovery_timeout_s=0.02)
+
+
+def false_positive_rate(
+    loss_rate: float,
+    probe_retries: int,
+    n: int = 6,
+    sim_seconds: float = 120.0,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """(spurious DOWNs per link-hour, spurious repairs per hour) on a healthy cluster."""
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    cluster = build_dual_backplane_cluster(sim, n, loss_rate=loss_rate, rng=rng)
+    stacks = install_stacks(cluster)
+    config = dataclasses.replace(BASE_CONFIG, probe_retries=probe_retries)
+    deployment = install_drs(cluster, stacks, config)
+    sim.run(until=1.0)
+    detects_before = cluster.trace.count("drs-detect")
+    repairs_before = deployment.total_repairs()
+    t0 = sim.now
+    sim.run(until=t0 + sim_seconds)
+    hours = (sim.now - t0) / 3600.0
+    links = n * (n - 1) * 2  # directed link beliefs across the cluster
+    detects = cluster.trace.count("drs-detect") - detects_before
+    repairs = deployment.total_repairs() - repairs_before
+    return detects / (links * hours), repairs / hours
+
+
+def detection_latency_under_loss(
+    loss_rate: float,
+    probe_retries: int,
+    n: int = 6,
+    repeats: int = 5,
+    seed: int = 1,
+) -> float:
+    """Mean time for node 0 to repair around a real peer-NIC failure."""
+    config = dataclasses.replace(BASE_CONFIG, probe_retries=probe_retries)
+    latencies = []
+    for i in range(repeats):
+        sim = Simulator()
+        rng = np.random.default_rng(seed + i)
+        cluster = build_dual_backplane_cluster(sim, n, loss_rate=loss_rate, rng=rng)
+        stacks = install_stacks(cluster)
+        install_drs(cluster, stacks, config)
+        sim.run(until=2.0)
+        t0 = sim.now
+        victim = 1 + (i % (n - 1))
+        cluster.faults.fail(f"nic{victim}.0")
+        sim.run(until=t0 + (probe_retries + 4) * config.sweep_period_s + 2.0)
+        repairs = [
+            e
+            for e in cluster.trace.entries("drs-repair")
+            if e.time > t0 and e.fields["node"] == 0 and e.fields["peer"] == victim
+        ]
+        if repairs:
+            latencies.append(repairs[0].time - t0)
+    return float(np.mean(latencies)) if latencies else float("nan")
+
+
+def run(
+    loss_rates: tuple[float, ...] = (0.0, 0.01, 0.05, 0.10),
+    retry_values: tuple[int, ...] = (1, 2, 3),
+    sim_seconds: float = 120.0,
+) -> ExperimentResult:
+    """False-positive / detection-latency trade-off grid."""
+    result = ExperimentResult("grayfailure")
+    fp_rows = []
+    for loss in loss_rates:
+        for retries in retry_values:
+            fp, flaps = false_positive_rate(loss, retries, sim_seconds=sim_seconds)
+            fp_rows.append([loss, retries, fp, flaps])
+    result.add_table(
+        "false_positives",
+        ["loss rate", "probe retries", "spurious DOWNs / link-hour", "route flaps / hour"],
+        fp_rows,
+        caption="Healthy-but-lossy cluster: how often DRS cries wolf",
+    )
+    lat_rows = []
+    for retries in retry_values:
+        lat_rows.append([retries] + [detection_latency_under_loss(loss, retries) for loss in loss_rates])
+    result.add_table(
+        "detection_latency",
+        ["probe retries"] + [f"detect+repair (s) @ loss={l}" for l in loss_rates],
+        lat_rows,
+        caption="The price of patience: real-failure repair latency per threshold",
+    )
+    result.note(
+        "expected shape: retries=1 flaps even at modest loss; retries=2 (the "
+        "deployed default) suppresses false positives below ~5% loss while "
+        "adding about one sweep of detection latency"
+    )
+    return result

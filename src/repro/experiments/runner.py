@@ -1,0 +1,118 @@
+"""``drs-experiments`` CLI: regenerate every paper artifact.
+
+Usage::
+
+    drs-experiments                      # run everything into ./results
+    drs-experiments figure2 crossovers   # a subset
+    drs-experiments --quick              # reduced iteration counts
+    drs-experiments --out /tmp/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    availability,
+    crossovers,
+    desvalidation,
+    failover,
+    figure1,
+    figure2,
+    figure3,
+    grayfailure,
+    motivation,
+    scaling,
+    scenariosuite,
+    wholecluster,
+)
+from repro.experiments.base import ExperimentResult
+
+
+def _registry(quick: bool) -> dict[str, Callable[[], ExperimentResult]]:
+    if quick:
+        return {
+            "figure1": lambda: figure1.run(n_max=100, validate_des=True, des_nodes=6),
+            "figure2": lambda: figure2.run(mc_iterations=2_000),
+            "figure3": lambda: figure3.run(iteration_grid=(10, 100, 1_000), n_max=40),
+            "crossovers": crossovers.run,
+            "motivation": lambda: motivation.run(fleet_years=5),
+            "failover": lambda: failover.run(post_failure_s=30.0),
+            "desval": lambda: desvalidation.run(replicates=30, f_values=(2, 3, 4)),
+            "ablations": lambda: ablations.run(
+                n_values=(8, 32), mc_iterations=20_000, sweep_periods=(0.5, 2.0)
+            ),
+            "grayfailure": lambda: grayfailure.run(loss_rates=(0.0, 0.05), retry_values=(1, 2), sim_seconds=30.0),
+            "wholecluster": lambda: wholecluster.run(mc_iterations=10_000),
+            "availability": lambda: availability.run(n_values=(4, 16), mc_iterations=30_000),
+            "scenarios": scenariosuite.run,
+            "desval-curve": lambda: desvalidation.run_curve(replicates=25, n_values=(4, 6, 8)),
+            "scaling": lambda: scaling.run(n_values=(4, 8, 12)),
+        }
+    return {
+        "figure1": figure1.run,
+        "figure2": lambda: figure2.run(mc_iterations=20_000),
+        "figure3": figure3.run,
+        "crossovers": crossovers.run,
+        "motivation": motivation.run,
+        "failover": failover.run,
+        "desval": desvalidation.run,
+        "ablations": ablations.run,
+        "grayfailure": grayfailure.run,
+        "wholecluster": wholecluster.run,
+        "availability": availability.run,
+        "scenarios": scenariosuite.run,
+        "desval-curve": desvalidation.run_curve,
+        "scaling": scaling.run,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="drs-experiments",
+        description="Regenerate the figures and tables of the DRS survivability paper.",
+    )
+    parser.add_argument("names", nargs="*", help="experiments to run (default: all)")
+    parser.add_argument("--out", default="results", help="output directory (default: ./results)")
+    parser.add_argument("--quick", action="store_true", help="reduced iteration counts")
+    parser.add_argument("--html", action="store_true", help="also write a combined results/index.html")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    registry = _registry(args.quick)
+    if args.list:
+        for name in registry:
+            print(name)
+        return 0
+    names = args.names or list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}; have {', '.join(registry)}")
+
+    out_dir = Path(args.out)
+    results = []
+    for name in names:
+        started = time.perf_counter()
+        print(f"[drs-experiments] running {name} ...", flush=True)
+        result = registry[name]()
+        results.append(result)
+        files = result.write(out_dir)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[drs-experiments] {name} done in {elapsed:.1f}s -> {files[0]}", flush=True)
+    if args.html:
+        from repro.experiments.base import write_html_index
+
+        index = write_html_index(results, out_dir)
+        print(f"[drs-experiments] combined report -> {index}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

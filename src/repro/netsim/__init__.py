@@ -1,0 +1,66 @@
+"""Network substrate: the physical model of a dual-backplane server cluster.
+
+This package models the exact topology the DRS paper evaluates: N servers,
+each with two NICs, attached to two separate, non-meshed backplanes (hubs).
+It provides
+
+* :class:`~repro.netsim.backplane.Backplane` — a shared-medium hub with a
+  finite bit rate, propagation delay, FIFO serialization, and utilization
+  accounting (the 100 Mb/s network of Figure 1),
+* :class:`~repro.netsim.nic.Nic` — a failable network interface,
+* :class:`~repro.netsim.node.Node` — a server chassis holding NICs and
+  dispatching received frames to registered handlers (the protocol stack
+  from :mod:`repro.protocols` registers itself here),
+* :class:`~repro.netsim.faults.FaultInjector` — scripted and random failure
+  scenarios over the component universe the paper's probability model
+  counts (2N NICs + 2 hubs),
+* :func:`~repro.netsim.topology.build_dual_backplane_cluster` — the
+  canonical topology builder.
+
+Frame sizes follow minimal-Ethernet framing so that an ICMP echo occupies 84
+bytes on the wire per direction — the calibration that reproduces Figure 1's
+"90 hosts in under a second at 10% bandwidth" checkpoint (see DESIGN.md §2).
+"""
+
+from repro.netsim.addresses import BROADCAST_NODE, InterfaceAddr, NetworkId, NodeId
+from repro.netsim.frames import (
+    ETHER_OVERHEAD_BYTES,
+    MIN_FRAME_BYTES,
+    PREAMBLE_IFG_BYTES,
+    Frame,
+    wire_bytes,
+)
+from repro.netsim.component import Component, ComponentKind
+from repro.netsim.backplane import Backplane
+from repro.netsim.nic import Nic
+from repro.netsim.node import Node
+from repro.netsim.faults import FaultInjector, FaultScenario, component_universe
+from repro.netsim.capture import CapturedFrame, FrameCapture
+from repro.netsim.switch import Switch, build_dual_switched_cluster
+from repro.netsim.topology import Cluster, build_dual_backplane_cluster
+
+__all__ = [
+    "NodeId",
+    "NetworkId",
+    "InterfaceAddr",
+    "BROADCAST_NODE",
+    "Frame",
+    "wire_bytes",
+    "ETHER_OVERHEAD_BYTES",
+    "MIN_FRAME_BYTES",
+    "PREAMBLE_IFG_BYTES",
+    "Component",
+    "ComponentKind",
+    "Backplane",
+    "Nic",
+    "Node",
+    "FaultInjector",
+    "FaultScenario",
+    "component_universe",
+    "FrameCapture",
+    "CapturedFrame",
+    "Cluster",
+    "build_dual_backplane_cluster",
+    "Switch",
+    "build_dual_switched_cluster",
+]

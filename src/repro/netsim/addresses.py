@@ -1,0 +1,38 @@
+"""Addressing: node identifiers and per-network interface addresses.
+
+The cluster address plan mirrors the deployed DRS configuration: every server
+``i`` owns one interface on each of the two backplanes, addressed as
+``(node=i, network=j)`` — the simulation analogue of having one IP per NIC on
+two disjoint subnets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NodeId = int
+NetworkId = int
+
+#: Destination node id meaning "all nodes on this network" (limited broadcast).
+BROADCAST_NODE: NodeId = -1
+
+
+@dataclass(frozen=True, slots=True)
+class InterfaceAddr:
+    """Layer-2/3 address of one NIC: which node, on which backplane."""
+
+    node: NodeId
+    network: NetworkId
+
+    def is_broadcast(self) -> bool:
+        """True for the per-network broadcast address."""
+        return self.node == BROADCAST_NODE
+
+    def __str__(self) -> str:
+        host = "*" if self.is_broadcast() else str(self.node)
+        return f"net{self.network}.{host}"
+
+
+def broadcast_addr(network: NetworkId) -> InterfaceAddr:
+    """The broadcast address on backplane ``network``."""
+    return InterfaceAddr(node=BROADCAST_NODE, network=network)

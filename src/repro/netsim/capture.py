@@ -1,0 +1,147 @@
+"""Frame capture: a tcpdump-lite for the simulated cluster.
+
+Attach a :class:`FrameCapture` to one or more backplanes and every carried
+frame is recorded (time, network, addresses, L3/L4 summary, wire size).
+Captures render as a text timeline and support simple filtering — the
+debugging loop for protocol work on this simulator.
+
+Implementation note: capture hooks into :meth:`Backplane.transmit` by
+wrapping it, so it sees frames exactly when they hit the medium (including
+ones later lost to hub death or random loss; those are marked from the
+drop trace if a shared recorder is provided).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.netsim.backplane import Backplane
+from repro.netsim.frames import Frame
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One observed frame."""
+
+    time: float
+    network: int
+    src: str
+    dst: str
+    protocol: str
+    summary: str
+    wire_bytes: int
+
+
+def _summarize_payload(frame: Frame) -> str:
+    payload = frame.payload
+    # network-layer packet?
+    inner = getattr(payload, "payload", None)
+    proto = getattr(payload, "protocol", None)
+    if inner is None or proto is None:
+        return type(payload).__name__
+    kind = type(inner).__name__
+    details = ""
+    if hasattr(inner, "seq") and hasattr(inner, "ack"):
+        details = f" seq={inner.seq} ack={inner.ack}"
+    elif hasattr(inner, "ident") and hasattr(inner, "seq"):
+        details = f" id={inner.ident}"
+    elif hasattr(inner, "dst_port"):
+        details = f" port={inner.dst_port}"
+    return f"{proto}/{kind}{details}"
+
+
+class FrameCapture:
+    """Records frames crossing the attached backplanes."""
+
+    def __init__(self, backplanes: Iterable[Backplane], max_frames: int = 100_000) -> None:
+        if max_frames <= 0:
+            raise ValueError("max_frames must be positive")
+        self.max_frames = max_frames
+        self.frames: list[CapturedFrame] = []
+        self.overflowed = False
+        self._originals: list[tuple[Backplane, Callable]] = []
+        for bp in backplanes:
+            self._attach(bp)
+
+    def _attach(self, bp: Backplane) -> None:
+        original = bp.transmit
+
+        def tapped(frame: Frame, sender, _bp=bp, _original=original) -> None:
+            self._record(_bp, frame)
+            _original(frame, sender)
+
+        self._originals.append((bp, original))
+        bp.transmit = tapped  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Stop capturing and restore the backplanes."""
+        for bp, original in self._originals:
+            bp.transmit = original  # type: ignore[method-assign]
+        self._originals.clear()
+
+    def _record(self, bp: Backplane, frame: Frame) -> None:
+        if len(self.frames) >= self.max_frames:
+            self.overflowed = True
+            return
+        self.frames.append(
+            CapturedFrame(
+                time=bp.sim.now,
+                network=bp.network_id,
+                src=str(frame.src),
+                dst=str(frame.dst),
+                protocol=frame.protocol,
+                summary=_summarize_payload(frame),
+                wire_bytes=frame.wire_bytes,
+            )
+        )
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def filter(
+        self,
+        protocol: str | None = None,
+        node: int | None = None,
+        network: int | None = None,
+        since: float = 0.0,
+    ) -> list[CapturedFrame]:
+        """Subset of captured frames matching every given criterion."""
+        out = []
+        for cf in self.frames:
+            if cf.time < since:
+                continue
+            if protocol is not None and protocol not in cf.summary and cf.protocol != protocol:
+                continue
+            if network is not None and cf.network != network:
+                continue
+            if node is not None:
+                node_tag = f".{node}"
+                if not (cf.src.endswith(node_tag) or cf.dst.endswith(node_tag) or cf.dst.endswith(".*")):
+                    continue
+            out.append(cf)
+        return out
+
+    def render(self, frames: list[CapturedFrame] | None = None, limit: int = 50) -> str:
+        """Text timeline of (a subset of) the capture."""
+        frames = self.frames if frames is None else frames
+        lines = []
+        for cf in frames[:limit]:
+            lines.append(
+                f"{cf.time * 1e3:10.3f}ms net{cf.network} {cf.src:>8} > {cf.dst:<8} "
+                f"{cf.summary} ({cf.wire_bytes}B)"
+            )
+        if len(frames) > limit:
+            lines.append(f"... {len(frames) - limit} more frames")
+        if self.overflowed:
+            lines.append(f"[capture overflowed at {self.max_frames} frames]")
+        return "\n".join(lines)
+
+    def traffic_matrix(self) -> dict[tuple[str, str], int]:
+        """(src, dst) -> total wire bytes, over the whole capture."""
+        matrix: dict[tuple[str, str], int] = {}
+        for cf in self.frames:
+            key = (cf.src, cf.dst)
+            matrix[key] = matrix.get(key, 0) + cf.wire_bytes
+        return matrix

@@ -1,0 +1,70 @@
+"""Layer-2 frames and wire-size accounting.
+
+Wire occupancy uses minimal-Ethernet framing:
+
+* 18 bytes of header+FCS on top of the L3 payload,
+* padding up to the 64-byte minimum frame,
+* 20 bytes of preamble + inter-frame gap.
+
+An empty-payload ICMP echo (20 B IP + 8 B ICMP = 28 B of L3) therefore costs
+``max(64, 28+18) + 20 = 84`` bytes on the wire per direction — the constant
+DESIGN.md §2 calibrates Figure 1 against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.netsim.addresses import InterfaceAddr
+
+ETHER_OVERHEAD_BYTES = 18   #: MAC header (14) + FCS (4)
+MIN_FRAME_BYTES = 64        #: minimum Ethernet frame, padded if shorter
+PREAMBLE_IFG_BYTES = 20     #: preamble + start delimiter (8) + inter-frame gap (12)
+
+_frame_ids = itertools.count()
+
+
+def wire_bytes(payload_bytes: int) -> int:
+    """Bytes of medium time one frame with an L3 payload of this size occupies."""
+    if payload_bytes < 0:
+        raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    return max(MIN_FRAME_BYTES, payload_bytes + ETHER_OVERHEAD_BYTES) + PREAMBLE_IFG_BYTES
+
+
+@dataclass(slots=True)
+class Frame:
+    """A layer-2 frame in flight on one backplane.
+
+    ``payload`` is an arbitrary L3 object exposing ``size_bytes`` (the
+    protocol stack's :class:`~repro.protocols.packet.Packet`); ``protocol``
+    is the ethertype-like demux key the receiving node dispatches on.
+    """
+
+    src: InterfaceAddr
+    dst: InterfaceAddr
+    protocol: str
+    payload: Any
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def payload_bytes(self) -> int:
+        """Size of the L3 payload carried by this frame."""
+        size = getattr(self.payload, "size_bytes", None)
+        if size is None:
+            raise TypeError(f"frame payload {self.payload!r} lacks a size_bytes attribute")
+        return int(size)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total wire occupancy of this frame including framing overhead."""
+        return wire_bytes(self.payload_bytes)
+
+    @property
+    def wire_bits(self) -> int:
+        """Wire occupancy in bits."""
+        return self.wire_bytes * 8
+
+    def __str__(self) -> str:
+        return f"Frame#{self.frame_id}[{self.src}->{self.dst} {self.protocol} {self.payload_bytes}B]"

@@ -1,0 +1,112 @@
+"""Network interface card model."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.netsim.addresses import InterfaceAddr
+from repro.netsim.component import Component, ComponentKind
+from repro.netsim.frames import Frame
+from repro.simkit import Counter, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.netsim.backplane import Backplane
+
+
+class Nic(Component):
+    """One failable interface attaching a node to a backplane.
+
+    A down NIC loses traffic in both directions without notifying either
+    side — modelling the card/driver/cabling failures the paper's one-year
+    field study attributes 13% of hardware faults to.
+    """
+
+    def __init__(self, addr: InterfaceAddr, backplane: "Backplane", trace: TraceRecorder | None = None) -> None:
+        super().__init__(name=f"nic{addr.node}.{addr.network}", kind=ComponentKind.NIC)
+        self.addr = addr
+        self.backplane = backplane
+        self.trace = trace
+        #: degraded-card model: probability each frame (either direction) is
+        #: silently lost while the NIC still counts as "up" — the flaky
+        #: card/driver/connector gray failures field studies are full of
+        self.degraded_drop_rate = 0.0
+        self._degraded_rng = None
+        self._degraded_direction = "both"
+        self._receiver: Callable[[Frame, "Nic"], None] | None = None
+        self.frames_sent = Counter(f"{self.name}.tx")
+        self.frames_received = Counter(f"{self.name}.rx")
+        self.frames_dropped = Counter(f"{self.name}.drops")
+        backplane.attach(self)
+
+    def set_receiver(self, receiver: Callable[[Frame, "Nic"], None]) -> None:
+        """Install the node-side handler for frames arriving on this NIC."""
+        self._receiver = receiver
+
+    def set_degraded(self, drop_rate: float, rng=None, direction: str = "both") -> None:
+        """Put the card into (or out of) gray-failure mode.
+
+        ``drop_rate=0`` restores a healthy card.  The NIC stays *up* — its
+        failures are probabilistic frame losses, which is exactly the case
+        DRS's probe-retry threshold exists to distinguish from hard death.
+
+        ``direction`` selects which side rots: ``"both"`` (default),
+        ``"tx"`` (frames leave the driver but die on the wire), or ``"rx"``
+        (arrivals lost before the stack sees them).  One-way gray failures
+        are the nastiest field case — the node itself appears healthy to
+        its own transmissions — and DRS's bidirectional echo catches them.
+        """
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        if direction not in ("both", "tx", "rx"):
+            raise ValueError(f"direction must be both/tx/rx, got {direction!r}")
+        if rng is not None:
+            self._degraded_rng = rng
+        if drop_rate > 0.0 and self._degraded_rng is None:
+            raise ValueError("a degraded NIC needs an rng for loss draws")
+        self.degraded_drop_rate = float(drop_rate)
+        self._degraded_direction = direction
+
+    def _degraded_loss(self, side: str) -> bool:
+        if self.degraded_drop_rate <= 0.0:
+            return False
+        if self._degraded_direction not in ("both", side):
+            return False
+        return self._degraded_rng.random() < self.degraded_drop_rate
+
+    # -------------------------------------------------------------- transmit
+    def send(self, frame: Frame) -> bool:
+        """Hand a frame to the medium.  Returns False if dropped at the NIC.
+
+        The boolean reflects only local knowledge — a True return does not
+        mean the frame will arrive (the hub or the receiving NIC may be
+        down), matching real transmit semantics.
+        """
+        if not self.up:
+            self._drop(frame, reason="tx-nic-down")
+            return False
+        if self._degraded_loss("tx"):
+            # A flaky card reports success to its driver, then mangles the
+            # frame on the wire — the caller cannot tell.
+            self._drop(frame, reason="tx-degraded")
+            return True
+        self.frames_sent.add()
+        self.backplane.transmit(frame, self)
+        return True
+
+    # --------------------------------------------------------------- receive
+    def deliver(self, frame: Frame) -> None:
+        """Called by the backplane when a frame reaches this port."""
+        if not self.up:
+            self._drop(frame, reason="rx-nic-down")
+            return
+        if self._degraded_loss("rx"):
+            self._drop(frame, reason="rx-degraded")
+            return
+        self.frames_received.add()
+        if self._receiver is not None:
+            self._receiver(frame, self)
+
+    def _drop(self, frame: Frame, reason: str) -> None:
+        self.frames_dropped.add()
+        if self.trace is not None:
+            self.trace.record("drop", where=self.name, reason=reason, frame=str(frame))

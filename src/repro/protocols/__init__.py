@@ -1,0 +1,58 @@
+"""Host protocol stack layered over :mod:`repro.netsim`.
+
+The stack mirrors the slice of TCP/IP the DRS paper's clusters ran:
+
+* :mod:`~repro.protocols.packet` — the L3 datagram and header-size constants,
+* :mod:`~repro.protocols.routing` — the per-host routing table DRS rewrites,
+* :mod:`~repro.protocols.ip` — forwarding network layer with TTL-based loop
+  protection (nodes can act as routers, which is how DRS two-hop repair
+  routes traffic around failures),
+* :mod:`~repro.protocols.icmp` — echo request/reply, both routed and
+  per-network direct (the DRS monitor probes each physical network
+  explicitly),
+* :mod:`~repro.protocols.udp` — datagram service used by DRS control
+  messages,
+* :mod:`~repro.protocols.tcp` — a reliable message stream with RTO and
+  exponential backoff, used to measure whether failover beats the
+  application-visible retransmission timeout,
+* :mod:`~repro.protocols.stack` — the per-host bundle and cluster installer.
+"""
+
+from repro.protocols.packet import (
+    ICMP_HEADER_BYTES,
+    IP_HEADER_BYTES,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    Packet,
+)
+from repro.protocols.routing import Route, RouteSource, RoutingTable
+from repro.protocols.ip import NetworkLayer
+from repro.protocols.icmp import EchoReply, EchoRequest, IcmpService, PingResult, PingStatus
+from repro.protocols.udp import Datagram, UdpService
+from repro.protocols.tcp import TcpConnection, TcpSegment, TcpStack
+from repro.protocols.stack import HostStack, build_host_stack, install_stacks
+
+__all__ = [
+    "Packet",
+    "IP_HEADER_BYTES",
+    "ICMP_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+    "Route",
+    "RouteSource",
+    "RoutingTable",
+    "NetworkLayer",
+    "IcmpService",
+    "EchoRequest",
+    "EchoReply",
+    "PingResult",
+    "PingStatus",
+    "UdpService",
+    "Datagram",
+    "TcpStack",
+    "TcpConnection",
+    "TcpSegment",
+    "HostStack",
+    "build_host_stack",
+    "install_stacks",
+]

@@ -1,0 +1,143 @@
+"""Per-host routing tables.
+
+A route answers: to reach ``dst``, transmit on ``network`` addressed to
+``next_hop`` (the destination itself for a direct route, or an intermediate
+server acting as a DRS two-hop router).
+
+Routes carry a :class:`RouteSource` tag so the protocols can reason about
+ownership: DRS never evicts a static route permanently — it installs repair
+routes on top and withdraws them once the direct path heals, exactly the
+point-to-point route surgery the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.netsim.addresses import NetworkId, NodeId
+
+
+class RouteSource(enum.Enum):
+    """Who installed a route (controls preference and eviction rights)."""
+
+    STATIC = "static"      #: boot-time default (direct on the primary network)
+    DRS = "drs"            #: installed by the DRS failover engine
+    DISTVECTOR = "dv"      #: learned from a RIP-like baseline
+    LINKSTATE = "ls"       #: computed by the OSPF-like baseline's SPF
+    REACTIVE = "reactive"  #: installed by the reactive baseline after a timeout
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """One forwarding entry."""
+
+    dst: NodeId
+    network: NetworkId
+    next_hop: NodeId
+    source: RouteSource = RouteSource.STATIC
+    metric: int = 1
+    installed_at: float = 0.0
+
+    @property
+    def direct(self) -> bool:
+        """True when the next hop is the destination itself."""
+        return self.next_hop == self.dst
+
+    def __str__(self) -> str:
+        via = "direct" if self.direct else f"via {self.next_hop}"
+        return f"{self.dst} -> net{self.network} {via} [{self.source.value} m={self.metric}]"
+
+
+class RoutingTable:
+    """Destination-keyed forwarding table with change notification.
+
+    Exactly one active route per destination — the DRS design point: repair
+    replaces the broken entry rather than accumulating alternatives, and the
+    previous entry is remembered so withdrawal can restore it.
+    """
+
+    def __init__(self, owner: NodeId) -> None:
+        self.owner = owner
+        self._routes: dict[NodeId, Route] = {}
+        self._shadowed: dict[NodeId, Route] = {}
+        self._listeners: list[Callable[[NodeId, Route | None], None]] = []
+        self.change_count = 0
+
+    # ------------------------------------------------------------------ read
+    def lookup(self, dst: NodeId) -> Route | None:
+        """The active route to ``dst``, or None if unreachable."""
+        return self._routes.get(dst)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(sorted(self._routes.values(), key=lambda r: r.dst))
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, dst: NodeId) -> bool:
+        return dst in self._routes
+
+    # ----------------------------------------------------------------- write
+    def install(self, route: Route) -> None:
+        """Set the active route for ``route.dst``, shadowing any prior entry.
+
+        Installing a route for the owner itself is rejected: the cluster's
+        loop-freedom argument starts from "no host routes to itself through
+        the network".
+        """
+        if route.dst == self.owner:
+            raise ValueError(f"node {self.owner} cannot install a route to itself")
+        if route.next_hop == self.owner:
+            raise ValueError(f"node {self.owner} cannot be its own next hop (routing loop)")
+        prior = self._routes.get(route.dst)
+        if prior is not None and prior.source is not route.source:
+            self._shadowed[route.dst] = prior
+        self._routes[route.dst] = route
+        self._changed(route.dst, route)
+
+    def withdraw(self, dst: NodeId, source: RouteSource) -> Route | None:
+        """Remove the active route to ``dst`` if it was installed by ``source``.
+
+        If an older route from a different source was shadowed, it becomes
+        active again.  Returns the new active route (possibly None).
+        """
+        active = self._routes.get(dst)
+        if active is None or active.source is not source:
+            return active
+        restored = self._shadowed.pop(dst, None)
+        if restored is not None:
+            self._routes[dst] = restored
+        else:
+            del self._routes[dst]
+        self._changed(dst, restored)
+        return restored
+
+    def replace_network(self, dst: NodeId, network: NetworkId, source: RouteSource, now: float) -> Route:
+        """Convenience: install a direct route to ``dst`` on ``network``."""
+        route = Route(dst=dst, network=network, next_hop=dst, source=source, installed_at=now)
+        self.install(route)
+        return route
+
+    # ------------------------------------------------------------- listeners
+    def on_change(self, listener: Callable[[NodeId, Route | None], None]) -> None:
+        """Register ``listener(dst, new_route_or_None)`` for future changes."""
+        self._listeners.append(listener)
+
+    def _changed(self, dst: NodeId, route: Route | None) -> None:
+        self.change_count += 1
+        for listener in self._listeners:
+            listener(dst, route)
+
+    # -------------------------------------------------------------- bulk init
+    def install_defaults(self, peers: Iterator[NodeId] | list[NodeId], network: NetworkId = 0) -> None:
+        """Boot-time static table: direct routes to every peer on one network."""
+        for peer in peers:
+            if peer == self.owner:
+                continue
+            self.install(Route(dst=peer, network=network, next_hop=peer, source=RouteSource.STATIC))
+
+    def snapshot(self) -> dict[NodeId, Route]:
+        """A copy of the active table (for assertions and diffing)."""
+        return dict(self._routes)

@@ -1,0 +1,61 @@
+"""``drs-sim``: run scenario files from the command line.
+
+Usage::
+
+    drs-sim examples/scenarios/nic_failure_drs.json
+    drs-sim --compare examples/scenarios/nic_failure_*.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.scenario.run import run_scenario
+from repro.scenario.spec import ScenarioError, load_scenario
+from repro.viz import render_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="drs-sim",
+        description="Run declarative DRS cluster scenarios (JSON specs).",
+    )
+    parser.add_argument("scenarios", nargs="+", help="scenario JSON files")
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="render one side-by-side table instead of per-scenario reports",
+    )
+    args = parser.parse_args(argv)
+
+    reports = []
+    for path in args.scenarios:
+        try:
+            spec = load_scenario(path)
+            report = run_scenario(spec)
+        except ScenarioError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        if not args.compare:
+            print(report.render())
+            print()
+
+    if args.compare:
+        workload_keys = sorted({k for r in reports for k in r.workload_metrics})
+        headers = ["metric"] + [r.spec.name for r in reports]
+        rows: list[list] = [
+            ["routing repairs"] + [r.routing_repairs for r in reports],
+            ["route changes"] + [r.route_changes for r in reports],
+            ["mean segment utilization"] + [r.wire_utilization for r in reports],
+        ]
+        for key in workload_keys:
+            rows.append([key] + [r.workload_metrics.get(key, "-") for r in reports])
+        print(render_table(headers, rows, title="scenario comparison"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

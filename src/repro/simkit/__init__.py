@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel.
+
+``simkit`` is a small, deterministic discrete-event simulation (DES) core in
+the style of SimPy, purpose-built for the DRS reproduction:
+
+* :class:`~repro.simkit.simulator.Simulator` — the event loop: a priority
+  queue of timestamped callbacks with stable FIFO tie-breaking, so two runs
+  with the same seed produce byte-identical traces.
+* :class:`~repro.simkit.process.Process` — generator-based cooperative
+  processes that ``yield`` delays or :class:`~repro.simkit.process.Signal`
+  objects (used for protocol daemons such as the DRS monitor loop).
+* :class:`~repro.simkit.rng.RngRegistry` — named, independent random streams
+  split from one root :class:`numpy.random.SeedSequence` so adding a new
+  consumer never perturbs existing ones.
+* :mod:`~repro.simkit.trace` — counters, time-weighted averages and event
+  traces used by the measurement harness.
+
+The kernel is intentionally pure Python: per the project's HPC guidelines the
+event loop is not the hot path (the vectorized Monte Carlo estimator in
+:mod:`repro.analysis` is), so clarity and determinism win here.
+"""
+
+from repro.simkit.errors import SimulationError, ScheduleInPastError, StoppedSimulation
+from repro.simkit.events import Event, EventQueue
+from repro.simkit.simulator import Simulator
+from repro.simkit.process import Process, Signal, Timeout
+from repro.simkit.rng import RngRegistry
+from repro.simkit.trace import Counter, TimeWeightedValue, TraceRecorder, TraceEntry
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "Process",
+    "Signal",
+    "Timeout",
+    "RngRegistry",
+    "Counter",
+    "TimeWeightedValue",
+    "TraceRecorder",
+    "TraceEntry",
+    "SimulationError",
+    "ScheduleInPastError",
+    "StoppedSimulation",
+]

@@ -1,0 +1,100 @@
+"""Event objects and the pending-event priority queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The monotonically
+increasing sequence number guarantees stable FIFO ordering among events that
+share a timestamp and priority, which is what makes whole-simulation runs
+reproducible bit-for-bit under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the callback fires.
+    priority:
+        Tie-breaker among same-time events; lower fires first.  Protocol
+        code uses the default (0); infrastructure (e.g. fault injection)
+        may use negative priorities to act "before" the protocols in a tick.
+    seq:
+        Queue-assigned sequence number; guarantees FIFO among full ties.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Lazy-deletion flag; cancelled events stay in the heap but are
+        skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` with lazy deletion."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], Any], priority: int = 0) -> Event:
+        """Insert a callback at absolute time ``time`` and return its handle."""
+        ev = Event(time=time, priority=priority, seq=self._seq, callback=callback)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                self._live -= 1
+                return ev
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> float | None:
+        """Return the time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,111 @@
+"""The simulation event loop."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.simkit.errors import ScheduleInPastError
+from repro.simkit.events import Event, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    The simulator owns the clock and the pending-event queue.  All model
+    components (NICs, hubs, protocol daemons) schedule work through it and
+    never advance time themselves.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    # -------------------------------------------------------------- schedule
+    def schedule(self, delay: float, callback: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(self, when: float, callback: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Raises
+        ------
+        ScheduleInPastError
+            If ``when`` is before the current time or not a finite number.
+        """
+        if not math.isfinite(when):
+            raise ScheduleInPastError(self._now, when)
+        if when < self._now:
+            raise ScheduleInPastError(self._now, when)
+        return self._queue.push(when, callback, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (safe to call twice)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Fire the single earliest event.  Return ``False`` if none remain."""
+        if not self._queue:
+            return False
+        ev = self._queue.pop()
+        self._now = ev.time
+        ev.callback()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or event budget spent.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            this time, and advance the clock exactly to ``until``.
+        max_events:
+            Safety valve for runaway models; stop after firing this many.
+        """
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    return
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self._now = until
+                    return
+                self.step()
+                fired += 1
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the currently firing event returns."""
+        self._stopped = True

@@ -1,0 +1,137 @@
+"""Measurement primitives: counters, time-weighted values, event traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.simkit.simulator import Simulator
+
+
+class Counter:
+    """A monotonically accumulating scalar (packets sent, bits on wire, ...)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0.0
+        self.events = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` and record one contributing event."""
+        self.value += amount
+        self.events += 1
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0.0
+        self.events = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, value={self.value}, events={self.events})"
+
+
+class TimeWeightedValue:
+    """Tracks a piecewise-constant signal and integrates it over time.
+
+    Used for e.g. instantaneous link utilization and queue depth; the
+    time-weighted mean is the integral divided by observed duration.
+    """
+
+    def __init__(self, sim: Simulator, initial: float = 0.0, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value = initial
+        self._last_change = sim.now
+        self._integral = 0.0
+        self._t0 = sim.now
+
+    @property
+    def value(self) -> float:
+        """Current level of the signal."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Step the signal to a new level at the current simulation time."""
+        now = self.sim.now
+        self._integral += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        """Step the signal by ``delta``."""
+        self.set(self._value + delta)
+
+    def mean(self) -> float:
+        """Time-weighted mean since construction (0 if no time has passed)."""
+        now = self.sim.now
+        duration = now - self._t0
+        if duration <= 0:
+            return self._value
+        integral = self._integral + self._value * (now - self._last_change)
+        return integral / duration
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded event: time, category, and free-form fields."""
+
+    time: float
+    category: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only structured trace with category filtering.
+
+    A shared recorder is threaded through the network model; tests and
+    experiments query it instead of scraping stdout.
+    """
+
+    def __init__(self, sim: Simulator, enabled: bool = True) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self._entries: list[TraceEntry] = []
+        self._hooks: list[Callable[[TraceEntry], None]] = []
+
+    def record(self, category: str, **fields: Any) -> None:
+        """Record one event at the current simulation time."""
+        if not self.enabled:
+            return
+        entry = TraceEntry(time=self.sim.now, category=category, fields=fields)
+        self._entries.append(entry)
+        for hook in self._hooks:
+            hook(entry)
+
+    def add_hook(self, hook: Callable[[TraceEntry], None]) -> None:
+        """Invoke ``hook`` synchronously for every future entry."""
+        self._hooks.append(hook)
+
+    def entries(self, category: str | None = None) -> list[TraceEntry]:
+        """All entries, optionally restricted to one category."""
+        if category is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.category == category]
+
+    def iter_entries(self, category: str | None = None) -> Iterator[TraceEntry]:
+        """Lazily iterate entries, optionally restricted to one category."""
+        for e in self._entries:
+            if category is None or e.category == category:
+                yield e
+
+    def count(self, category: str) -> int:
+        """Number of entries in a category."""
+        return sum(1 for e in self._entries if e.category == category)
+
+    def last(self, category: str) -> TraceEntry | None:
+        """Most recent entry in a category, or ``None``."""
+        for e in reversed(self._entries):
+            if e.category == category:
+                return e
+        return None
+
+    def clear(self) -> None:
+        """Drop all recorded entries (hooks stay registered)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

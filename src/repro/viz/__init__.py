@@ -1,0 +1,15 @@
+"""Output rendering: ASCII charts, aligned tables, CSV emitters.
+
+matplotlib is unavailable in the offline reproduction environment, so every
+figure is emitted twice: as a CSV series file (plot-ready elsewhere) and as
+an ASCII rendering good enough to read the curve shapes directly in a
+terminal or in EXPERIMENTS.md.
+"""
+
+from repro.viz.textplot import line_chart
+from repro.viz.tables import render_table
+from repro.viz.csvout import write_csv
+from repro.viz.svg import svg_line_chart
+from repro.viz.timeline import render_timeline
+
+__all__ = ["line_chart", "render_table", "write_csv", "svg_line_chart", "render_timeline"]

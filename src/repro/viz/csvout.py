@@ -1,0 +1,24 @@
+"""CSV emission for figure series and tables."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> Path:
+    """Write headers+rows to ``path``, creating parent directories.
+
+    Returns the resolved path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+            writer.writerow(list(row))
+    return path

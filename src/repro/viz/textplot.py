@@ -1,0 +1,98 @@
+"""ASCII line charts with optional log axes."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Marker glyphs assigned to series in insertion order.
+MARKERS = "ox+*#@%&^~"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"log axis requires positive values, got {v}")
+        out.append(math.log10(v))
+    return out
+
+
+def line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    x_log: bool = False,
+    y_log: bool = False,
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a marker from :data:`MARKERS`; the legend maps markers
+    back to names.  Axes are annotated with min/max (pre-transform values).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to render")
+
+    points: dict[str, tuple[list[float], list[float]]] = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        if len(xs) == 0:
+            raise ValueError(f"series {name!r} is empty")
+        points[name] = (_transform(xs, x_log), _transform(ys, y_log))
+
+    all_x = [x for xs, _ in points.values() for x in xs]
+    all_y = [y for _, ys in points.values() for y in ys]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(points.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    def fmt(value: float, log: bool) -> str:
+        raw = 10**value if log else value
+        return f"{raw:.4g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = fmt(y_max, y_log)
+    bottom_label = fmt(y_min, y_log)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = fmt(x_min, x_log) + (" " * max(1, width - 12)) + fmt(x_max, x_log)
+    lines.append(" " * label_width + "  " + x_axis)
+    footer = []
+    if x_label:
+        footer.append(f"x: {x_label}" + (" (log10)" if x_log else ""))
+    if y_label:
+        footer.append(f"y: {y_label}" + (" (log10)" if y_log else ""))
+    if footer:
+        lines.append("  ".join(footer))
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}" for i, name in enumerate(points)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Outage/repair timelines rendered from the simulation trace.
+
+Turns the structured trace (fault, drs-detect, drs-repair, drs-restore,
+reactive-* events) into a per-lane ASCII Gantt so a scenario's failure
+story is readable at a glance::
+
+    hub0        ........XXXXXXXXXX..............................
+    node0->1    ---------DDr------------------------------------
+    time        0.0s                                       40.0s
+
+Lane glyphs: ``X`` component down, ``D`` failure detected but not yet
+repaired, ``r`` repair installed, ``R`` direct route restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simkit.trace import TraceEntry
+
+
+@dataclass(frozen=True)
+class _Interval:
+    start: float
+    end: float | None
+
+
+def _component_lanes(entries: list[TraceEntry], t_end: float) -> dict[str, list[_Interval]]:
+    lanes: dict[str, list[_Interval]] = {}
+    open_at: dict[str, float] = {}
+    for entry in entries:
+        if entry.category != "fault":
+            continue
+        component = entry.fields["component"]
+        if entry.fields["action"] == "fail":
+            open_at.setdefault(component, entry.time)
+        else:
+            start = open_at.pop(component, None)
+            if start is not None:
+                lanes.setdefault(component, []).append(_Interval(start, entry.time))
+    for component, start in open_at.items():
+        lanes.setdefault(component, []).append(_Interval(start, None))
+    return lanes
+
+
+def render_timeline(
+    entries: list[TraceEntry],
+    t_start: float = 0.0,
+    t_end: float | None = None,
+    width: int = 72,
+    node: int | None = None,
+) -> str:
+    """Render fault windows and repair events between ``t_start`` and ``t_end``.
+
+    ``node`` restricts the protocol-event lanes to one observer daemon
+    (component lanes always show the whole cluster).
+    """
+    if width < 24:
+        raise ValueError("width too small to render")
+    if t_end is None:
+        t_end = max((e.time for e in entries), default=t_start) + 1e-9
+    span = t_end - t_start
+    if span <= 0:
+        raise ValueError("empty time window")
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - t_start) / span * (width - 1))))
+
+    lines: list[str] = []
+    # component down-windows
+    for component, intervals in sorted(_component_lanes(entries, t_end).items()):
+        lane = ["."] * width
+        for interval in intervals:
+            end = interval.end if interval.end is not None else t_end
+            for c in range(col(interval.start), col(end) + 1):
+                lane[c] = "X"
+        lines.append(f"{component:<12}{''.join(lane)}")
+
+    # per-pair protocol lanes
+    pair_events: dict[tuple[int, int], list[tuple[float, str]]] = {}
+    glyph_map = {
+        "drs-detect": "D",
+        "reactive-detect": "D",
+        "drs-repair": "r",
+        "reactive-repair": "r",
+        "drs-restore": "R",
+    }
+    for entry in entries:
+        glyph = glyph_map.get(entry.category)
+        if glyph is None:
+            continue
+        observer = entry.fields.get("node")
+        peer = entry.fields.get("peer")
+        if observer is None or peer is None:
+            continue
+        if node is not None and observer != node:
+            continue
+        pair_events.setdefault((observer, peer), []).append((entry.time, glyph))
+    for (observer, peer), events in sorted(pair_events.items()):
+        lane = ["-"] * width
+        for t, glyph in sorted(events):
+            c = col(t)
+            # later, "stronger" events overwrite: detect < repair < restore
+            order = {"-": 0, "D": 1, "r": 2, "R": 3}
+            if order[glyph] >= order.get(lane[c], 0):
+                lane[c] = glyph
+        lines.append(f"{f'node{observer}->{peer}':<12}{''.join(lane)}")
+
+    axis = f"{'time':<12}{t_start:<.6g}s" + " " * max(1, width - 16) + f"{t_end:.6g}s"
+    lines.append(axis)
+    lines.append("legend: X component down, D detected, r repaired, R restored")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Tests for the unconditional q^f mixing layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import failure_count_pmf, unconditional_success
+
+
+def test_pmf_normalized_and_geometric():
+    pmf = failure_count_pmf(q=0.1, f_max=10)
+    assert pmf.sum() == pytest.approx(1.0)
+    ratios = pmf[1:] / pmf[:-1]
+    assert np.allclose(ratios, 0.1)
+
+
+def test_pmf_q_zero_degenerate():
+    pmf = failure_count_pmf(q=0.0, f_max=5)
+    assert pmf[0] == 1.0 and pmf[1:].sum() == 0.0
+
+
+def test_pmf_validation():
+    with pytest.raises(ValueError):
+        failure_count_pmf(q=1.0, f_max=5)
+    with pytest.raises(ValueError):
+        failure_count_pmf(q=-0.1, f_max=5)
+    with pytest.raises(ValueError):
+        failure_count_pmf(q=0.1, f_max=-1)
+
+
+def test_unconditional_success_bounds_and_limits():
+    p = unconditional_success(n=10, q=0.1)
+    assert 0 < p < 1
+    # q -> 0: only the f=0 term survives -> probability 1
+    assert unconditional_success(n=10, q=0.0) == pytest.approx(1.0)
+
+
+def test_unconditional_increases_with_n():
+    # the paper's headline: resilience improves with cluster size
+    p_small = unconditional_success(n=4, q=0.2)
+    p_large = unconditional_success(n=40, q=0.2)
+    assert p_large > p_small
+    assert unconditional_success(n=200, q=0.2) > 0.99
+
+
+def test_unconditional_decreases_with_q():
+    assert unconditional_success(10, 0.05) > unconditional_success(10, 0.3)
+
+
+def test_f_max_truncation_consistent():
+    full = unconditional_success(6, 0.3)
+    truncated = unconditional_success(6, 0.3, f_max=14)
+    assert full == pytest.approx(truncated)
+    # over-large f_max is clamped to the physical limit
+    assert unconditional_success(6, 0.3, f_max=99) == pytest.approx(full)

@@ -1,0 +1,106 @@
+"""Tests for Wilson intervals and precision-targeted Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    estimate_to_precision,
+    mc_success_estimate,
+    success_probability,
+    wilson_interval,
+)
+
+
+def test_wilson_basic_properties():
+    est = wilson_interval(80, 100)
+    assert est.point == 0.8
+    assert est.low < 0.8 < est.high
+    assert 0 <= est.low <= est.high <= 1
+    assert est.half_width == pytest.approx((est.high - est.low) / 2)
+
+
+def test_wilson_edge_counts():
+    zero = wilson_interval(0, 50)
+    assert zero.low == 0.0 and zero.high > 0.0
+    full = wilson_interval(50, 50)
+    assert full.high == 1.0 and full.low < 1.0
+
+
+def test_wilson_narrows_with_trials():
+    small = wilson_interval(8, 10)
+    large = wilson_interval(8000, 10000)
+    assert large.half_width < small.half_width
+
+
+def test_wilson_confidence_levels():
+    n90 = wilson_interval(50, 100, confidence=0.90)
+    n99 = wilson_interval(50, 100, confidence=0.99)
+    assert n99.half_width > n90.half_width
+    with pytest.raises(ValueError):
+        wilson_interval(50, 100, confidence=0.42)
+
+
+def test_wilson_validation():
+    with pytest.raises(ValueError):
+        wilson_interval(5, 0)
+    with pytest.raises(ValueError):
+        wilson_interval(-1, 10)
+    with pytest.raises(ValueError):
+        wilson_interval(11, 10)
+
+
+def test_wilson_coverage_empirical():
+    # ~95% of intervals should cover the true p
+    rng = np.random.default_rng(0)
+    p_true = 0.3
+    covered = 0
+    runs = 400
+    for _ in range(runs):
+        successes = rng.binomial(200, p_true)
+        est = wilson_interval(int(successes), 200)
+        covered += est.low <= p_true <= est.high
+    assert covered / runs > 0.90
+
+
+def test_estimate_to_precision_reaches_target():
+    rng = np.random.default_rng(1)
+    p_true = 0.7
+
+    def batch(k):
+        return int(rng.binomial(k, p_true))
+
+    est = estimate_to_precision(batch, target_half_width=0.01, batch=2_000)
+    assert est.half_width <= 0.01
+    assert abs(est.point - p_true) < 0.05
+
+
+def test_estimate_to_precision_respects_budget():
+    rng = np.random.default_rng(2)
+    est = estimate_to_precision(
+        lambda k: int(rng.binomial(k, 0.5)),
+        target_half_width=1e-6,  # unreachable within the budget
+        batch=1_000,
+        max_trials=5_000,
+    )
+    assert est.trials == 5_000
+    assert est.half_width > 1e-6
+
+
+def test_estimate_to_precision_validation():
+    with pytest.raises(ValueError):
+        estimate_to_precision(lambda k: 0, target_half_width=0)
+    with pytest.raises(ValueError):
+        estimate_to_precision(lambda k: 0, target_half_width=0.1, batch=0)
+    with pytest.raises(ValueError):
+        estimate_to_precision(lambda k: k + 1, target_half_width=0.1, batch=10)
+
+
+def test_mc_success_estimate_brackets_equation1():
+    rng = np.random.default_rng(3)
+    n, f = 12, 3
+    est = mc_success_estimate(n, f, rng, target_half_width=0.005)
+    exact = success_probability(n, f)
+    assert est.half_width <= 0.005
+    # generous 2x interval check: the CI should bracket the closed form
+    margin = 2 * est.half_width
+    assert est.point - margin <= exact <= est.point + margin

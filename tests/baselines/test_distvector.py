@@ -1,0 +1,105 @@
+"""Tests for the RIP-like distance-vector baseline."""
+
+import pytest
+
+from repro.baselines import DistVectorConfig, install_distvector
+from repro.baselines.distvector import Advertisement, INFINITY_METRIC
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import RouteSource, install_stacks
+from repro.simkit import Simulator
+
+from tests.drs.conftest import routed_ping_ok
+
+FAST = DistVectorConfig(advertise_interval_s=0.5, timeout_s=1.5)
+
+
+def _rig(n=4, config=FAST):
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, n)
+    stacks = install_stacks(cluster)
+    deployment = install_distvector(cluster, stacks, config)
+    sim.run(until=3.0)  # several advertisement rounds
+    return sim, cluster, stacks, deployment
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DistVectorConfig(advertise_interval_s=0)
+    with pytest.raises(ValueError):
+        DistVectorConfig(advertise_interval_s=1.0, timeout_s=1.5)
+
+
+def test_advertisement_size_accounting():
+    advert = Advertisement(origin=0, entries=((0, 0), (1, 1)))
+    assert advert.wire_data_bytes == 4 + 2 * 20
+
+
+def test_converges_to_direct_metric1_routes():
+    sim, cluster, stacks, deployment = _rig()
+    for src in range(4):
+        for dst in range(4):
+            if src == dst:
+                continue
+            route = stacks[src].table.lookup(dst)
+            assert route.source is RouteSource.DISTVECTOR
+            assert route.metric == 1 and route.direct
+
+
+def test_reachability_after_convergence():
+    sim, cluster, stacks, deployment = _rig()
+    assert routed_ping_ok(sim, stacks, 0, 3)
+
+
+def test_hub_failure_reroutes_after_timeout():
+    sim, cluster, stacks, deployment = _rig()
+    t_fail = sim.now
+    cluster.faults.fail("hub0")
+    sim.run(until=t_fail + FAST.timeout_s + 2 * FAST.advertise_interval_s + 0.5)
+    for src in range(4):
+        for dst in range(4):
+            if src != dst:
+                route = stacks[src].table.lookup(dst)
+                assert route.network == 1, (src, dst, str(route))
+    assert routed_ping_ok(sim, stacks, 0, 2)
+
+
+def test_detection_not_faster_than_timeout():
+    sim, cluster, stacks, deployment = _rig()
+    t_fail = sim.now
+    cluster.faults.fail("nic1.0")
+    sim.run(until=t_fail + 6.0)
+    changes = [
+        e
+        for e in cluster.trace.entries("dv-route-change")
+        if e.time > t_fail and e.fields["node"] == 0 and e.fields["dst"] == 1 and e.fields["network"] == 1
+    ]
+    assert changes, "route to node 1 never moved off the dead NIC's network"
+    assert changes[0].time - t_fail >= FAST.timeout_s - FAST.advertise_interval_s
+
+
+def test_triggered_updates_speed_up_convergence():
+    slow = _rig(config=DistVectorConfig(advertise_interval_s=0.5, timeout_s=1.5, triggered_updates=False))
+    fast = _rig(config=DistVectorConfig(advertise_interval_s=0.5, timeout_s=1.5, triggered_updates=True))
+
+    def converge_time(rig):
+        sim, cluster, stacks, deployment = rig
+        changes = cluster.trace.entries("dv-route-change")
+        return max(e.time for e in changes)
+
+    # with triggered updates initial convergence completes no later
+    assert converge_time(fast) <= converge_time(slow) + 1e-9
+
+
+def test_stop_halts_advertising():
+    sim, cluster, stacks, deployment = _rig()
+    deployment.stop()
+    sent = sum(r.adverts_sent.value for r in deployment.routers.values())
+    sim.run(until=sim.now + 3.0)
+    assert sum(r.adverts_sent.value for r in deployment.routers.values()) == sent
+
+
+def test_infinity_metric_never_installed():
+    sim, cluster, stacks, deployment = _rig()
+    for router in deployment.routers.values():
+        for dst, (metric, _, _) in router._best_routes().items():
+            assert metric < INFINITY_METRIC

@@ -1,0 +1,127 @@
+"""Tests for the OSPF-like link-state baseline."""
+
+import pytest
+
+from repro.baselines import LinkStateConfig, install_linkstate
+from repro.baselines.linkstate import Hello, Lsa
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import RouteSource, install_stacks
+from repro.simkit import Simulator
+
+from tests.drs.conftest import routed_ping_ok
+
+FAST = LinkStateConfig(hello_interval_s=0.25, dead_interval_s=1.0, lsa_refresh_s=10.0)
+
+
+def _rig(n=4, config=FAST):
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, n)
+    stacks = install_stacks(cluster)
+    deployment = install_linkstate(cluster, stacks, config)
+    sim.run(until=2.0)  # hellos + floods + SPF settle
+    return sim, cluster, stacks, deployment
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LinkStateConfig(hello_interval_s=0)
+    with pytest.raises(ValueError):
+        LinkStateConfig(hello_interval_s=1.0, dead_interval_s=1.5)
+    with pytest.raises(ValueError):
+        LinkStateConfig(lsa_refresh_s=0)
+
+
+def test_lsa_size_accounting():
+    lsa = Lsa(origin=0, seq=1, networks=(0, 1))
+    assert lsa.wire_data_bytes == 16 + 2 * 4
+
+
+def test_converges_to_direct_routes():
+    sim, cluster, stacks, deployment = _rig()
+    for src in range(4):
+        for dst in range(4):
+            if src == dst:
+                continue
+            route = stacks[src].table.lookup(dst)
+            assert route.source is RouteSource.LINKSTATE, (src, dst, str(route))
+            assert route.direct and route.metric == 2
+
+
+def test_lsdb_synchronized_cluster_wide():
+    sim, cluster, stacks, deployment = _rig()
+    for router in deployment.routers.values():
+        assert set(router._lsdb) == {0, 1, 2, 3}
+        for origin, entry in router._lsdb.items():
+            assert set(entry.lsa.networks) == {0, 1}
+
+
+def test_reachability_after_convergence():
+    sim, cluster, stacks, deployment = _rig()
+    assert routed_ping_ok(sim, stacks, 0, 3)
+
+
+def test_nic_failure_reroutes_after_dead_interval():
+    sim, cluster, stacks, deployment = _rig()
+    t_fail = sim.now
+    cluster.faults.fail("nic1.0")
+    sim.run(until=t_fail + FAST.dead_interval_s + 3 * FAST.hello_interval_s)
+    route = stacks[0].table.lookup(1)
+    assert route.network == 1, str(route)
+    assert routed_ping_ok(sim, stacks, 0, 1)
+    # detection respects the dead interval (reactive semantics)
+    changes = [
+        e
+        for e in cluster.trace.entries("ls-route-change")
+        if e.time > t_fail and e.fields["node"] == 0 and e.fields["dst"] == 1 and e.fields["network"] == 1
+    ]
+    assert changes and changes[0].time - t_fail >= FAST.dead_interval_s - FAST.hello_interval_s
+
+
+def test_hub_failure_moves_everyone():
+    sim, cluster, stacks, deployment = _rig()
+    cluster.faults.fail("hub0")
+    sim.run(until=sim.now + FAST.dead_interval_s + 4 * FAST.hello_interval_s)
+    for src in range(4):
+        for dst in range(4):
+            if src != dst:
+                assert stacks[src].table.lookup(dst).network == 1, (src, dst)
+    assert routed_ping_ok(sim, stacks, 1, 3)
+
+
+def test_crossed_failure_two_hop_spf_route():
+    sim, cluster, stacks, deployment = _rig()
+    cluster.faults.fail("nic0.1")
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + FAST.dead_interval_s + 5 * FAST.hello_interval_s)
+    route = stacks[0].table.lookup(1)
+    assert route is not None and not route.direct
+    assert route.metric == 4  # router-net-router-net-router
+    assert routed_ping_ok(sim, stacks, 0, 1)
+
+
+def test_heal_restores_direct_spf_route():
+    sim, cluster, stacks, deployment = _rig()
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + 2.5)
+    cluster.faults.repair("nic1.0")
+    sim.run(until=sim.now + 2.0)
+    route = stacks[0].table.lookup(1)
+    assert route.direct
+
+
+def test_stop_halts_hellos():
+    sim, cluster, stacks, deployment = _rig()
+    deployment.stop()
+    sent = sum(r.hellos_sent.value for r in deployment.routers.values())
+    sim.run(until=sim.now + 2.0)
+    assert sum(r.hellos_sent.value for r in deployment.routers.values()) == sent
+
+
+def test_spf_runs_counted_and_bounded():
+    sim, cluster, stacks, deployment = _rig()
+    runs = sum(r.spf_runs.value for r in deployment.routers.values())
+    assert runs > 0
+    # quiescent network: no further SPF churn (refresh excepted)
+    sim.run(until=sim.now + 3.0)
+    runs_after = sum(r.spf_runs.value for r in deployment.routers.values())
+    assert runs_after - runs <= 4 * 4  # at most refresh-driven reinstalls

@@ -1,0 +1,72 @@
+"""Tests for the synthetic failure-log generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    FailureLogConfig,
+    category_breakdown,
+    generate_failure_log,
+    network_fraction,
+)
+from repro.cluster.failurelog import CATEGORY_WEIGHTS, NETWORK_CATEGORIES
+
+
+def test_weights_calibrated_to_13_percent_network():
+    network_weight = sum(CATEGORY_WEIGHTS[c] for c in NETWORK_CATEGORIES)
+    assert network_weight == pytest.approx(0.13)
+    assert sum(CATEGORY_WEIGHTS.values()) == pytest.approx(1.0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FailureLogConfig(servers=0)
+    with pytest.raises(ValueError):
+        FailureLogConfig(duration_days=0)
+    with pytest.raises(ValueError):
+        FailureLogConfig(failures_per_server_year=0)
+
+
+def test_log_shape_and_ordering():
+    rng = np.random.default_rng(0)
+    events = generate_failure_log(FailureLogConfig(), rng)
+    assert len(events) > 50  # ~110 expected for the default fleet-year
+    assert all(0 < e.time_days <= 365.0 for e in events)
+    assert all(0 <= e.server < 100 for e in events)
+    times = [e.time_days for e in events]
+    assert times == sorted(times)
+
+
+def test_network_fraction_near_13_percent():
+    # many fleet-years to stabilize the share
+    rng = np.random.default_rng(1)
+    events = generate_failure_log(
+        FailureLogConfig(servers=100, duration_days=365 * 30, failures_per_server_year=1.1), rng
+    )
+    assert network_fraction(events) == pytest.approx(0.13, abs=0.01)
+
+
+def test_category_breakdown_sums_to_one():
+    rng = np.random.default_rng(2)
+    events = generate_failure_log(FailureLogConfig(), rng)
+    breakdown = category_breakdown(events)
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert set(breakdown) <= set(CATEGORY_WEIGHTS)
+
+
+def test_network_related_flag():
+    rng = np.random.default_rng(3)
+    events = generate_failure_log(FailureLogConfig(), rng)
+    for e in events:
+        assert e.network_related == (e.category in {"nic", "hub", "cable"})
+
+
+def test_empty_log_edges():
+    assert category_breakdown([]) == {}
+    assert network_fraction([]) == 0.0
+
+
+def test_reproducible_with_seed():
+    a = generate_failure_log(FailureLogConfig(), np.random.default_rng(9))
+    b = generate_failure_log(FailureLogConfig(), np.random.default_rng(9))
+    assert a == b

@@ -1,0 +1,52 @@
+"""Messaging-layer recovery: reconnect after transport death."""
+
+from repro.cluster import install_messaging
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.protocols.tcp import TcpState
+from repro.simkit import Simulator
+
+
+def test_endpoint_reconnects_after_connection_death():
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 3)
+    stacks = install_stacks(cluster)
+    comm = install_messaging(sim, stacks)
+    got = []
+    comm.endpoint(1).on_receive(lambda src, tag, p, s: got.append(tag))
+
+    comm.endpoint(0).send(1, "before", None, 32)
+    sim.run(until=1.0)
+    assert got == ["before"]
+
+    # kill the transport: total outage long enough to exhaust retries
+    first_conn = comm.endpoint(0)._out[1]
+    cluster.faults.fail("hub0")
+    cluster.faults.fail("hub1")
+    comm.endpoint(0).send(1, "lost", None, 32)
+    sim.run(until=sim.now + 600.0)
+    assert first_conn.state is TcpState.FAILED
+
+    # network heals; the endpoint must open a fresh connection transparently
+    cluster.faults.repair("hub0")
+    cluster.faults.repair("hub1")
+    comm.endpoint(0).send(1, "after", None, 32)
+    sim.run(until=sim.now + 30.0)
+    assert "after" in got
+    assert comm.endpoint(0)._out[1] is not first_conn
+
+
+def test_latency_of_survives_reconnect():
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 2)
+    stacks = install_stacks(cluster)
+    comm = install_messaging(sim, stacks)
+    msg1 = comm.endpoint(0).send(1, "a", None, 16)
+    sim.run(until=1.0)
+    old_latency = comm.endpoint(0).latency_of(1, msg1)
+    assert old_latency is not None
+    # force reconnect
+    comm.endpoint(0)._out[1].abort()
+    msg2 = comm.endpoint(0).send(1, "b", None, 16)
+    sim.run(until=2.0)
+    assert comm.endpoint(0).latency_of(1, msg2) is not None

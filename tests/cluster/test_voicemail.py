@@ -1,0 +1,94 @@
+"""Tests for the voice-mail workload."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VoicemailCluster, VoicemailConfig, install_messaging
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.simkit import Simulator
+
+
+def _rig(n=4, **cfg):
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, n)
+    stacks = install_stacks(cluster)
+    comm = install_messaging(sim, stacks)
+    config = VoicemailConfig(**{"call_rate_per_s": 20.0, "message_bytes": 2_000, **cfg})
+    vm = VoicemailCluster(sim, comm, config, rng=np.random.default_rng(0))
+    return sim, cluster, stacks, vm
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        VoicemailConfig(subscribers=0)
+    with pytest.raises(ValueError):
+        VoicemailConfig(call_rate_per_s=0)
+    with pytest.raises(ValueError):
+        VoicemailConfig(deposit_fraction=1.5)
+    with pytest.raises(ValueError):
+        VoicemailConfig(message_bytes=-1)
+
+
+def test_home_sharding_is_stable_and_balanced():
+    sim, cluster, stacks, vm = _rig()
+    homes = [vm.home_of(s) for s in range(1000)]
+    assert set(homes) == {0, 1, 2, 3}
+    assert vm.home_of(42) == vm.home_of(42)
+
+
+def test_workload_generates_and_completes_transfers():
+    sim, cluster, stacks, vm = _rig()
+    vm.start()
+    sim.run(until=10.0)
+    vm.stop()
+    sim.run(until=20.0)
+    vm.collect_completions()
+    assert vm.stats.operations > 50
+    assert vm.stats.transfers > 0
+    assert vm.stats.completion_rate() > 0.95
+    assert vm.stats.mean_latency() > 0
+    assert vm.stats.p99_latency() >= vm.stats.mean_latency()
+
+
+def test_local_operations_bypass_network():
+    sim, cluster, stacks, vm = _rig()
+    vm.start()
+    sim.run(until=5.0)
+    vm.stop()
+    # with 4 nodes ~25% of calls land on the home server
+    assert vm.stats.local_operations > 0
+    assert vm.stats.local_operations + vm.stats.transfers == vm.stats.operations
+
+
+def test_deposits_fill_mailboxes():
+    sim, cluster, stacks, vm = _rig(deposit_fraction=1.0)
+    vm.start()
+    sim.run(until=10.0)
+    vm.stop()
+    sim.run(until=15.0)
+    total_messages = sum(sum(box.values()) for box in vm.mailboxes.values())
+    assert total_messages > 0
+
+
+def test_healthy_cluster_has_no_stalls():
+    sim, cluster, stacks, vm = _rig(stall_threshold_s=1.0)
+    vm.start()
+    sim.run(until=10.0)
+    vm.stop()
+    sim.run(until=15.0)
+    vm.collect_completions()
+    assert vm.stats.stalled == 0
+
+
+def test_outage_without_drs_stalls_operations():
+    sim, cluster, stacks, vm = _rig(stall_threshold_s=0.5)
+    vm.start()
+    sim.run(until=5.0)
+    cluster.faults.fail("hub0")          # static routes all ride hub0
+    sim.run(until=8.0)
+    cluster.faults.repair("hub0")
+    sim.run(until=25.0)
+    vm.stop()
+    vm.collect_completions()
+    assert vm.stats.stalled > 0

@@ -1,0 +1,13 @@
+"""Global test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed properties have per-example costs that vary with the
+# drawn parameters; wall-clock deadlines would make them flaky on loaded
+# machines, so correctness is bounded by example counts instead.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

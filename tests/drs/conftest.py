@@ -1,0 +1,37 @@
+"""Shared DRS test rig: cluster + stacks + daemons with fast test timings."""
+
+import pytest
+
+from repro.drs import DrsConfig, install_drs
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import PingStatus, install_stacks
+from repro.simkit import Simulator
+
+#: Aggressive timings so integration tests run in milliseconds of sim time.
+FAST = DrsConfig(
+    sweep_period_s=0.1,
+    probe_timeout_s=0.01,
+    probe_retries=2,
+    discovery_timeout_s=0.02,
+    path_check_period_s=0.5,
+)
+
+
+@pytest.fixture
+def drs_rig():
+    """(sim, cluster, stacks, deployment) for a warmed-up 5-node cluster."""
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 5)
+    stacks = install_stacks(cluster)
+    deployment = install_drs(cluster, stacks, FAST)
+    sim.run(until=1.0)  # several sweeps: all links observed UP
+    return sim, cluster, stacks, deployment
+
+
+def routed_ping_ok(sim, stacks, src, dst, timeout_s=0.05):
+    """Run a routed ping src->dst and return True on a reply."""
+    results = []
+    stacks[src].icmp.ping(dst, timeout_s=timeout_s, callback=results.append)
+    deadline = sim.now + timeout_s + 0.05
+    sim.run(until=deadline)
+    return bool(results) and results[0].status is PingStatus.REPLY

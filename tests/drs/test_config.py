@@ -1,0 +1,65 @@
+"""Unit tests for DRS configuration and budget-derived pacing."""
+
+import pytest
+
+from repro.drs import DrsConfig
+from repro.drs.config import PROBE_WIRE_BYTES
+
+
+def test_probe_wire_bytes_is_84():
+    # the paper-calibration constant (DESIGN.md §2)
+    assert PROBE_WIRE_BYTES == 84
+
+
+def test_defaults_valid():
+    cfg = DrsConfig()
+    assert cfg.sweep_period_s == 1.0
+    assert cfg.detection_bound_s() == pytest.approx(2 * 1.0 + 0.02)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("sweep_period_s", 0),
+        ("probe_timeout_s", -1),
+        ("probe_retries", 0),
+        ("discovery_timeout_s", 0),
+    ],
+)
+def test_invalid_fields_rejected(field, value):
+    with pytest.raises(ValueError):
+        DrsConfig(**{field: value})
+
+
+def test_paced_for_matches_figure1_checkpoint():
+    # 90 hosts at 10% of 100 Mb/s -> sweep just over 1 second (paper: "<1s")
+    cfg = DrsConfig.paced_for(90, bandwidth_budget=0.10)
+    assert cfg.sweep_period_s == pytest.approx(90 * 89 * 2 * 84 * 8 / (0.10 * 100e6))
+    assert 0.9 < cfg.sweep_period_s < 1.2
+    assert cfg.bandwidth_budget == 0.10
+
+
+def test_paced_for_scales_quadratically():
+    a = DrsConfig.paced_for(10, 0.10).sweep_period_s
+    b = DrsConfig.paced_for(20, 0.10).sweep_period_s
+    assert b / a == pytest.approx(20 * 19 / (10 * 9))
+
+
+def test_paced_for_inverse_in_budget():
+    a = DrsConfig.paced_for(10, 0.05).sweep_period_s
+    b = DrsConfig.paced_for(10, 0.10).sweep_period_s
+    assert a == pytest.approx(2 * b)
+
+
+def test_paced_for_overrides():
+    cfg = DrsConfig.paced_for(10, 0.10, probe_retries=5)
+    assert cfg.probe_retries == 5
+
+
+def test_paced_for_validation():
+    with pytest.raises(ValueError):
+        DrsConfig.paced_for(10, bandwidth_budget=0.0)
+    with pytest.raises(ValueError):
+        DrsConfig.paced_for(10, bandwidth_budget=1.5)
+    with pytest.raises(ValueError):
+        DrsConfig.paced_for(1, bandwidth_budget=0.1)

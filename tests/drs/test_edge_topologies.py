@@ -1,0 +1,61 @@
+"""Edge topologies: the smallest clusters, where the model's corner cases live."""
+
+from repro.drs import install_drs
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.simkit import Simulator
+
+from tests.drs.conftest import FAST, routed_ping_ok
+
+
+def _rig(n):
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, n)
+    stacks = install_stacks(cluster)
+    deployment = install_drs(cluster, stacks, FAST)
+    sim.run(until=1.0)
+    return sim, cluster, stacks, deployment
+
+
+def test_two_node_cluster_direct_swap_works():
+    sim, cluster, stacks, deployment = _rig(2)
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + 1.0)
+    assert stacks[0].table.lookup(1).network == 1
+    assert routed_ping_ok(sim, stacks, 0, 1)
+
+
+def test_two_node_crossed_failure_is_genuinely_unreachable():
+    # N=2 has no intermediates: the crossed case is unfixable, exactly as
+    # Equation 1's T-term predicts (T(0, 0)=1 bad combination)
+    sim, cluster, stacks, deployment = _rig(2)
+    cluster.faults.fail("nic0.1")
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + 3.0)
+    assert not routed_ping_ok(sim, stacks, 0, 1)
+    assert cluster.trace.count("drs-unreachable") >= 1
+    # the analytic model agrees: this failure set is one of the bad ones
+    from repro.analysis import pair_connected
+
+    # universe indexing: nic0.1 = index 3, nic1.0 = index 4
+    assert not pair_connected(frozenset({3, 4}), 2)
+
+
+def test_three_node_crossed_failure_uses_the_single_intermediate():
+    sim, cluster, stacks, deployment = _rig(3)
+    cluster.faults.fail("nic0.1")
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + 2.0)
+    route = stacks[0].table.lookup(1)
+    assert route is not None and route.next_hop == 2
+    assert routed_ping_ok(sim, stacks, 0, 1)
+
+
+def test_two_node_recovers_after_crossed_heal():
+    sim, cluster, stacks, deployment = _rig(2)
+    cluster.faults.fail("nic0.1")
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + 2.0)
+    cluster.faults.repair("nic1.0")
+    sim.run(until=sim.now + 2.0)
+    assert routed_ping_ok(sim, stacks, 0, 1)

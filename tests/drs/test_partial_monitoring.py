@@ -1,0 +1,63 @@
+"""Partial monitoring: daemons configured with a subset of peers.
+
+The paper: "Each DRS demon is configured to monitor hosts on the networks"
+— configuration, not discovery.  A daemon repairs only what it watches.
+"""
+
+from repro.drs.daemon import DrsDaemon
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.simkit import Simulator
+
+from tests.drs.conftest import FAST, routed_ping_ok
+
+
+def _partial_rig():
+    """Node 0 monitors only nodes 1 and 2; everyone else monitors everyone."""
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 5)
+    stacks = install_stacks(cluster)
+    all_ids = [n.node_id for n in cluster.nodes]
+    daemons = {}
+    for node in cluster.nodes:
+        peers = [0, 1, 2] if node.node_id == 0 else all_ids
+        daemons[node.node_id] = DrsDaemon(sim, stacks[node.node_id], peers, FAST, trace=cluster.trace)
+        daemons[node.node_id].start()
+    sim.run(until=1.0)
+    return sim, cluster, stacks, daemons
+
+
+def test_monitored_subset_only():
+    sim, cluster, stacks, daemons = _partial_rig()
+    assert daemons[0].table.peers() == [1, 2]
+    assert daemons[1].table.peers() == [0, 2, 3, 4]
+
+
+def test_monitored_peer_still_repaired():
+    sim, cluster, stacks, daemons = _partial_rig()
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + 1.0)
+    assert stacks[0].table.lookup(1).network == 1
+    assert routed_ping_ok(sim, stacks, 0, 1)
+
+
+def test_unmonitored_peer_not_repaired_by_node0():
+    sim, cluster, stacks, daemons = _partial_rig()
+    cluster.faults.fail("nic4.0")
+    sim.run(until=sim.now + 1.0)
+    # node 0 never probes node 4, so its static (broken) route stays
+    route = stacks[0].table.lookup(4)
+    assert route.network == 0
+    assert not routed_ping_ok(sim, stacks, 0, 4)
+    # ...while a full-mesh daemon repaired its own route fine
+    assert stacks[1].table.lookup(4).network == 1
+    assert routed_ping_ok(sim, stacks, 1, 4)
+
+
+def test_partial_monitor_still_volunteers_for_monitored_targets():
+    sim, cluster, stacks, daemons = _partial_rig()
+    # crossed failure between 1 and 2: node 0 monitors both, can volunteer
+    cluster.faults.fail("nic1.1")
+    cluster.faults.fail("nic2.0")
+    sim.run(until=sim.now + 2.0)
+    assert routed_ping_ok(sim, stacks, 1, 2)

@@ -1,0 +1,48 @@
+"""Tests for the DRS deployment status report."""
+
+from repro.drs import deployment_health, status_report
+
+
+def test_healthy_deployment(drs_rig):
+    sim, cluster, stacks, deployment = drs_rig
+    health = deployment_health(deployment)
+    assert health.healthy
+    assert health.nodes == 5
+    assert health.links_total == 5 * 4 * 2
+    assert health.links_up == health.links_total
+    assert health.verdict().startswith("HEALTHY")
+    report = status_report(deployment)
+    assert "HEALTHY" in report and "deployment summary" in report
+    assert "exceptions" not in report  # nothing to show
+
+
+def test_degraded_after_failure(drs_rig):
+    sim, cluster, stacks, deployment = drs_rig
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + 1.0)
+    health = deployment_health(deployment)
+    assert not health.healthy
+    # each of the other 4 daemons sees (1, net0) down; node 1 sees 4 links down
+    assert health.links_down == 8
+    assert health.total_repairs >= 4
+    assert health.verdict().startswith("DEGRADED")
+    report = status_report(deployment)
+    assert "exceptions" in report and "down" in report
+
+
+def test_two_hop_routes_reported(drs_rig):
+    sim, cluster, stacks, deployment = drs_rig
+    cluster.faults.fail("nic0.1")
+    cluster.faults.fail("nic1.0")
+    sim.run(until=sim.now + 2.0)
+    health = deployment_health(deployment)
+    assert health.active_two_hop_routes >= 1
+    assert "two-hop via" in status_report(deployment)
+
+
+def test_verbose_report_shows_all_links(drs_rig):
+    sim, cluster, stacks, deployment = drs_rig
+    report = status_report(deployment, verbose=True)
+    assert "link table" in report
+    # every (daemon, peer, network) row is present
+    assert report.count("up") >= 5 * 4 * 2

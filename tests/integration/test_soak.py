@@ -1,0 +1,116 @@
+"""Soak tests: random failure storms, then full re-convergence.
+
+These are the whole-system invariants: under arbitrary component churn the
+cluster must never crash, and once the hardware settles the DRS layer must
+restore all-pairs reachability with loop-free steady-state routes.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.drs import install_drs
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import PingStatus, install_stacks
+from repro.simkit import Simulator
+
+from tests.drs.conftest import FAST
+
+
+def _all_pairs_reachable(sim, stacks, nodes, timeout_s=0.1):
+    results = {}
+
+    def record(res, key):
+        results[key] = res.status is PingStatus.REPLY
+
+    for src in nodes:
+        for dst in nodes:
+            if src != dst:
+                stacks[src].icmp.ping(dst, timeout_s=timeout_s, callback=lambda r, k=(src, dst): record(r, k))
+    sim.run(until=sim.now + timeout_s + 0.1)
+    return [k for k, ok in results.items() if not ok]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("notify", [False, True])
+def test_storm_then_full_reconvergence(seed, notify):
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 6)
+    stacks = install_stacks(cluster)
+    config = dataclasses.replace(FAST, notify_peers=notify)
+    install_drs(cluster, stacks, config)
+    sim.run(until=1.0)
+
+    # churn: components fail and repair with short exponential lifetimes
+    rng = np.random.default_rng(seed)
+    cluster.faults.start_random_faults(rng, mtbf_s=4.0, mttr_s=2.0)
+    sim.run(until=31.0)
+    cluster.faults.stop_random_faults()
+    assert sum(c.fail_count for c in cluster.faults.components) > 10
+
+    # hardware settles; the routing layer must recover on its own
+    cluster.faults.repair_all()
+    sim.run(until=sim.now + 3.0)
+    unreachable = _all_pairs_reachable(sim, stacks, range(6))
+    assert unreachable == [], f"pairs still dark after settle: {unreachable}"
+
+
+def test_no_ttl_drops_after_settling():
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 6)
+    stacks = install_stacks(cluster)
+    install_drs(cluster, stacks, FAST)
+    sim.run(until=1.0)
+    rng = np.random.default_rng(7)
+    cluster.faults.start_random_faults(rng, mtbf_s=3.0, mttr_s=1.5)
+    sim.run(until=21.0)
+    cluster.faults.stop_random_faults()
+    cluster.faults.repair_all()
+    sim.run(until=sim.now + 3.0)
+    # measure only the settled window: steady-state routes are loop-free
+    drops_before = sum(s.net.dropped_ttl.value for s in stacks.values())
+    assert _all_pairs_reachable(sim, stacks, range(6)) == []
+    for _ in range(3):
+        assert _all_pairs_reachable(sim, stacks, range(6)) == []
+    drops_after = sum(s.net.dropped_ttl.value for s in stacks.values())
+    assert drops_after == drops_before
+
+
+def test_storm_is_deterministic_per_seed():
+    def run_once():
+        sim = Simulator()
+        cluster = build_dual_backplane_cluster(sim, 5)
+        stacks = install_stacks(cluster)
+        install_drs(cluster, stacks, FAST)
+        rng = np.random.default_rng(42)
+        cluster.faults.start_random_faults(rng, mtbf_s=3.0, mttr_s=1.0)
+        sim.run(until=15.0)
+        return [
+            (e.time, e.category, tuple(sorted(e.fields.items())))
+            for e in cluster.trace.entries()
+            if e.category.startswith(("fault", "drs-"))
+        ]
+
+    assert run_once() == run_once()
+
+
+def test_storm_with_lossy_segments():
+    # churn + 2% random frame loss simultaneously: still recovers
+    sim = Simulator()
+    loss_rng = np.random.default_rng(100)
+    cluster = build_dual_backplane_cluster(sim, 5, loss_rate=0.02, rng=loss_rng)
+    stacks = install_stacks(cluster)
+    install_drs(cluster, stacks, FAST)
+    sim.run(until=1.0)
+    fault_rng = np.random.default_rng(101)
+    cluster.faults.start_random_faults(fault_rng, mtbf_s=5.0, mttr_s=2.0)
+    sim.run(until=16.0)
+    cluster.faults.stop_random_faults()
+    cluster.faults.repair_all()
+    sim.run(until=sim.now + 3.0)
+    # under residual loss a single ping can drop; allow one retry per pair
+    dark = _all_pairs_reachable(sim, stacks, range(5))
+    if dark:
+        dark = [pair for pair in dark if pair in _all_pairs_reachable(sim, stacks, range(5))]
+    assert dark == []

@@ -1,0 +1,168 @@
+"""Tests for random frame loss and degraded-NIC gray failures."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import Backplane, Frame, InterfaceAddr, Nic, build_dual_backplane_cluster
+from repro.simkit import Simulator
+
+
+class _Payload:
+    size_bytes = 28
+
+
+def _lossy_rig(loss_rate, seed=0, n_frames=2000):
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    bp = Backplane(sim, 0, loss_rate=loss_rate, rng=rng)
+    a = Nic(InterfaceAddr(0, 0), bp)
+    b = Nic(InterfaceAddr(1, 0), bp)
+    received = []
+    b.set_receiver(lambda f, nic: received.append(f))
+    for _ in range(n_frames):
+        a.send(Frame(a.addr, b.addr, "t", _Payload()))
+    sim.run()
+    return received, bp
+
+
+def test_zero_loss_delivers_everything():
+    received, bp = _lossy_rig(0.0)
+    assert len(received) == 2000
+    assert bp.frames_dropped.value == 0
+
+
+def test_loss_rate_statistics():
+    received, bp = _lossy_rig(0.2)
+    delivered_fraction = len(received) / 2000
+    assert delivered_fraction == pytest.approx(0.8, abs=0.03)
+    assert bp.frames_dropped.value == 2000 - len(received)
+
+
+def test_loss_rate_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Backplane(sim, 0, loss_rate=1.0, rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        Backplane(sim, 0, loss_rate=-0.1, rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        Backplane(sim, 0, loss_rate=0.1)  # rng required
+
+
+def test_set_loss_rate_at_runtime():
+    sim = Simulator()
+    bp = Backplane(sim, 0)
+    with pytest.raises(ValueError):
+        bp.set_loss_rate(0.5)  # no rng yet
+    bp.set_loss_rate(0.5, rng=np.random.default_rng(1))
+    assert bp.loss_rate == 0.5
+    bp.set_loss_rate(0.0)
+    assert bp.loss_rate == 0.0
+    with pytest.raises(ValueError):
+        bp.set_loss_rate(2.0, rng=np.random.default_rng(1))
+
+
+def test_degraded_nic_drops_statistically():
+    sim = Simulator()
+    bp = Backplane(sim, 0)
+    a = Nic(InterfaceAddr(0, 0), bp)
+    b = Nic(InterfaceAddr(1, 0), bp)
+    b.set_degraded(0.3, rng=np.random.default_rng(2))
+    received = []
+    b.set_receiver(lambda f, nic: received.append(f))
+    for _ in range(2000):
+        a.send(Frame(a.addr, b.addr, "t", _Payload()))
+    sim.run()
+    assert len(received) / 2000 == pytest.approx(0.7, abs=0.04)
+    assert b.up  # degraded, not failed
+
+
+def test_degraded_tx_still_reports_success():
+    sim = Simulator()
+    bp = Backplane(sim, 0)
+    a = Nic(InterfaceAddr(0, 0), bp)
+    Nic(InterfaceAddr(1, 0), bp)
+    a.set_degraded(0.999, rng=np.random.default_rng(3))
+    # the driver cannot tell: send still returns True
+    assert a.send(Frame(a.addr, InterfaceAddr(1, 0), "t", _Payload())) is True
+
+
+def test_degraded_validation_and_recovery():
+    sim = Simulator()
+    bp = Backplane(sim, 0)
+    nic = Nic(InterfaceAddr(0, 0), bp)
+    with pytest.raises(ValueError):
+        nic.set_degraded(0.5)  # rng required
+    with pytest.raises(ValueError):
+        nic.set_degraded(1.5, rng=np.random.default_rng(0))
+    nic.set_degraded(0.5, rng=np.random.default_rng(0))
+    nic.set_degraded(0.0)  # healthy again
+    assert nic.degraded_drop_rate == 0.0
+
+
+def test_one_way_tx_degradation():
+    sim = Simulator()
+    bp = Backplane(sim, 0)
+    a = Nic(InterfaceAddr(0, 0), bp)
+    b = Nic(InterfaceAddr(1, 0), bp)
+    a.set_degraded(0.995, rng=np.random.default_rng(5), direction="tx")
+    got_at_b, got_at_a = [], []
+    b.set_receiver(lambda f, nic: got_at_b.append(f))
+    a.set_receiver(lambda f, nic: got_at_a.append(f))
+    for _ in range(200):
+        a.send(Frame(a.addr, b.addr, "t", _Payload()))
+        b.send(Frame(b.addr, a.addr, "t", _Payload()))
+    sim.run()
+    # a's transmissions die; a's receptions are fine (rx path untouched)
+    assert len(got_at_b) < 10
+    assert len(got_at_a) == 200
+
+
+def test_one_way_rx_degradation():
+    sim = Simulator()
+    bp = Backplane(sim, 0)
+    a = Nic(InterfaceAddr(0, 0), bp)
+    b = Nic(InterfaceAddr(1, 0), bp)
+    a.set_degraded(0.995, rng=np.random.default_rng(6), direction="rx")
+    got_at_b, got_at_a = [], []
+    b.set_receiver(lambda f, nic: got_at_b.append(f))
+    a.set_receiver(lambda f, nic: got_at_a.append(f))
+    for _ in range(200):
+        a.send(Frame(a.addr, b.addr, "t", _Payload()))
+        b.send(Frame(b.addr, a.addr, "t", _Payload()))
+    sim.run()
+    assert len(got_at_b) == 200   # tx path untouched
+    assert len(got_at_a) < 10     # receptions rot
+
+
+def test_degraded_direction_validation():
+    sim = Simulator()
+    bp = Backplane(sim, 0)
+    nic = Nic(InterfaceAddr(0, 0), bp)
+    with pytest.raises(ValueError):
+        nic.set_degraded(0.5, rng=np.random.default_rng(0), direction="sideways")
+
+
+def test_drs_detects_one_way_gray_failure():
+    """The bidirectional echo catches a NIC that only rots one direction."""
+    from repro.drs import install_drs
+    from repro.netsim import build_dual_backplane_cluster
+    from repro.protocols import install_stacks
+    from tests.drs.conftest import FAST
+
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 4)
+    stacks = install_stacks(cluster)
+    install_drs(cluster, stacks, FAST)
+    sim.run(until=1.0)
+    # node 1's net-0 card stops receiving but still transmits
+    cluster.nodes[1].nics[0].set_degraded(0.999, rng=np.random.default_rng(9), direction="rx")
+    sim.run(until=sim.now + 2.0)
+    # peers' echoes go unanswered -> link declared down -> rerouted
+    route = stacks[0].table.lookup(1)
+    assert route.network == 1
+
+
+def test_cluster_builder_accepts_loss():
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 3, loss_rate=0.1, rng=np.random.default_rng(0))
+    assert all(bp.loss_rate == 0.1 for bp in cluster.backplanes)

@@ -1,0 +1,16 @@
+"""Shared protocol-test rig: a small cluster with full stacks installed."""
+
+import pytest
+
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.simkit import Simulator
+
+
+@pytest.fixture
+def rig():
+    """(sim, cluster, stacks) for a 4-node dual-backplane cluster."""
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 4)
+    stacks = install_stacks(cluster)
+    return sim, cluster, stacks

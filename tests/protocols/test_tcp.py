@@ -1,0 +1,182 @@
+"""Unit tests for TCP-lite: handshake, reliability, retransmission, close."""
+
+import pytest
+
+from repro.protocols import RouteSource
+from repro.protocols.tcp import MSS_BYTES, TcpState
+
+
+def _server(stacks, node=1, port=80):
+    inbox = []
+    stacks[node].tcp.listen(port, on_message=lambda conn, data, size: inbox.append((data, size)))
+    return inbox
+
+
+def test_handshake_establishes_both_sides(rig):
+    sim, cluster, stacks = rig
+    listener_conns = []
+    stacks[1].tcp.listen(80, on_connect=listener_conns.append)
+    established = []
+    conn = stacks[0].tcp.connect(1, 80)
+    conn.on_established = lambda c: established.append(sim.now)
+    sim.run()
+    assert conn.established
+    assert len(listener_conns) == 1 and listener_conns[0].established
+    assert established and established[0] > 0
+
+
+def test_message_delivery_in_order(rig):
+    sim, cluster, stacks = rig
+    inbox = _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80)
+    for i in range(5):
+        conn.send_message(data=f"msg{i}", data_bytes=100)
+    sim.run()
+    assert [d for d, _ in inbox] == [f"msg{i}" for i in range(5)]
+    assert all(size == 100 for _, size in inbox)
+    assert conn.messages_sent == 5
+    assert len(conn.message_latencies) == 5
+
+
+def test_large_message_chunked_and_reassembled(rig):
+    sim, cluster, stacks = rig
+    inbox = _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80)
+    big = 3 * MSS_BYTES + 17
+    conn.send_message(data="payload", data_bytes=big)
+    sim.run()
+    assert inbox == [("payload", big)]
+
+
+def test_zero_byte_message_delivered(rig):
+    sim, cluster, stacks = rig
+    inbox = _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80)
+    conn.send_message(data="empty")
+    sim.run()
+    assert inbox[0][0] == "empty"
+
+
+def test_retransmission_recovers_transient_outage(rig):
+    sim, cluster, stacks = rig
+    inbox = _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=0.5)
+    sim.run(until=1.0)  # establish cleanly
+    assert conn.established
+    # Hub 0 (the static route's network) dies, then comes back.
+    cluster.faults.fail("hub0")
+    msg = conn.send_message(data="survives", data_bytes=64)
+    sim.schedule(2.0, lambda: cluster.faults.repair("hub0"))
+    sim.run(until=30.0)
+    assert inbox == [("survives", 64)]
+    assert conn.retransmissions.value >= 1
+    # app-visible latency includes the outage: at least the 2s down time
+    assert conn.message_latencies[msg] >= 2.0
+
+
+def test_permanent_outage_aborts_after_max_retries(rig):
+    sim, cluster, stacks = rig
+    _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=0.1, max_retries=3)
+    sim.run(until=1.0)
+    closed = []
+    conn.on_close = lambda c, reason: closed.append(reason)
+    cluster.faults.fail("hub0")
+    conn.send_message(data="doomed", data_bytes=10)
+    sim.run(until=300.0)
+    assert closed == ["max-retries"]
+    assert conn.state is TcpState.FAILED
+
+
+def test_rto_backoff_grows_and_resets(rig):
+    sim, cluster, stacks = rig
+    _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=0.2)
+    sim.run(until=1.0)
+    base_rto = conn.rto_s
+    cluster.faults.fail("hub0")
+    conn.send_message(data="x", data_bytes=10)
+    sim.run(until=2.0)
+    assert conn.rto_s > base_rto  # backed off during outage
+    cluster.faults.repair("hub0")
+    sim.run(until=120.0)
+    assert conn.rto_s <= 2 * base_rto  # backoff reset once acked
+
+
+def test_close_handshake(rig):
+    sim, cluster, stacks = rig
+    server_closed = []
+    listener = stacks[1].tcp.listen(80, on_connect=lambda c: setattr(c, "on_close", lambda cc, r: server_closed.append(r)))
+    conn = stacks[0].tcp.connect(1, 80)
+    client_closed = []
+    conn.on_close = lambda c, r: client_closed.append(r)
+    conn.send_message(data="bye", data_bytes=8)
+    sim.run(until=1.0)
+    conn.close()
+    sim.run(until=5.0)
+    assert client_closed == ["fin"]
+    assert server_closed == ["fin"]
+    assert conn.state is TcpState.CLOSED
+
+
+def test_send_after_close_rejected(rig):
+    sim, cluster, stacks = rig
+    _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80)
+    sim.run(until=1.0)
+    conn.close()
+    with pytest.raises(RuntimeError):
+        conn.send_message(data="late")
+
+
+def test_connect_to_non_listening_port_fails(rig):
+    sim, cluster, stacks = rig
+    conn = stacks[0].tcp.connect(1, 4444, initial_rto_s=0.1, max_retries=2)
+    failed = []
+    conn.on_close = lambda c, r: failed.append(r)
+    sim.run(until=60.0)
+    assert failed == ["max-retries"]
+
+
+def test_data_queued_before_establishment_flows_after(rig):
+    sim, cluster, stacks = rig
+    inbox = _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80)
+    conn.send_message(data="early", data_bytes=10)  # queued during SYN_SENT
+    sim.run()
+    assert inbox == [("early", 10)]
+
+
+def test_window_limits_inflight_segments(rig):
+    sim, cluster, stacks = rig
+    inbox = _server(stacks)
+    conn = stacks[0].tcp.connect(1, 80, window_segments=2)
+    for i in range(6):
+        conn.send_message(data=i, data_bytes=50)
+    # At any instant, at most 2 unacked segments (checked post-run by delivery)
+    sim.run()
+    assert [d for d, _ in inbox] == list(range(6))
+
+
+def test_bidirectional_messages(rig):
+    sim, cluster, stacks = rig
+    server_inbox = []
+
+    def on_conn(server_conn):
+        server_conn.on_message = lambda c, d, s: (server_inbox.append(d), c.send_message(data=f"re:{d}", data_bytes=8))
+
+    stacks[1].tcp.listen(80, on_connect=on_conn)
+    conn = stacks[0].tcp.connect(1, 80)
+    replies = []
+    conn.on_message = lambda c, d, s: replies.append(d)
+    conn.send_message(data="hello", data_bytes=8)
+    sim.run()
+    assert server_inbox == ["hello"]
+    assert replies == ["re:hello"]
+
+
+def test_double_listen_rejected(rig):
+    sim, cluster, stacks = rig
+    stacks[0].tcp.listen(80)
+    with pytest.raises(ValueError):
+        stacks[0].tcp.listen(80)

@@ -1,0 +1,93 @@
+"""TCP-lite edge cases beyond the happy path."""
+
+import pytest
+
+from repro.protocols.tcp import TcpState
+
+
+def test_close_during_outage_eventually_completes(rig):
+    sim, cluster, stacks = rig
+    stacks[1].tcp.listen(80)
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=0.2)
+    sim.run(until=1.0)
+    cluster.faults.fail("hub0")
+    conn.close()  # FIN queued into the outage
+    sim.run(until=3.0)
+    assert conn.state is TcpState.FIN_SENT  # still retransmitting the FIN
+    cluster.faults.repair("hub0")
+    sim.run(until=60.0)
+    assert conn.state is TcpState.CLOSED
+
+
+def test_abort_releases_connection_slot(rig):
+    sim, cluster, stacks = rig
+    stacks[1].tcp.listen(80)
+    conn = stacks[0].tcp.connect(1, 80)
+    sim.run(until=1.0)
+    key = (conn.local_port, conn.remote_node, conn.remote_port)
+    assert key in stacks[0].tcp._conns
+    conn.abort()
+    assert key not in stacks[0].tcp._conns
+    assert conn.state is TcpState.CLOSED
+    conn.abort()  # idempotent
+
+
+def test_send_negative_bytes_rejected(rig):
+    sim, cluster, stacks = rig
+    stacks[1].tcp.listen(80)
+    conn = stacks[0].tcp.connect(1, 80)
+    with pytest.raises(ValueError):
+        conn.send_message(data="x", data_bytes=-5)
+
+
+def test_ephemeral_ports_unique(rig):
+    sim, cluster, stacks = rig
+    stacks[1].tcp.listen(80)
+    conns = [stacks[0].tcp.connect(1, 80) for _ in range(5)]
+    ports = {c.local_port for c in conns}
+    assert len(ports) == 5
+
+
+def test_two_clients_one_listener(rig):
+    sim, cluster, stacks = rig
+    inbox = []
+    stacks[2].tcp.listen(80, on_message=lambda c, d, s: inbox.append(d))
+    a = stacks[0].tcp.connect(2, 80)
+    b = stacks[1].tcp.connect(2, 80)
+    a.send_message(data="from-0", data_bytes=10)
+    b.send_message(data="from-1", data_bytes=10)
+    sim.run()
+    assert sorted(inbox) == ["from-0", "from-1"]
+
+
+def test_server_side_connection_list(rig):
+    sim, cluster, stacks = rig
+    listener = stacks[1].tcp.listen(80)
+    stacks[0].tcp.connect(1, 80).send_message(data="x", data_bytes=1)
+    sim.run()
+    assert len(listener.connections) == 1
+    assert listener.connections[0].established
+
+
+def test_stray_segment_for_closed_connection_ignored(rig):
+    sim, cluster, stacks = rig
+    stacks[1].tcp.listen(80)
+    conn = stacks[0].tcp.connect(1, 80)
+    conn.send_message(data="x", data_bytes=1)
+    sim.run(until=1.0)
+    conn.abort()
+    # peer may still emit an ACK afterwards; nothing should blow up
+    sim.run(until=2.0)
+
+
+def test_rto_floor_and_ceiling(rig):
+    sim, cluster, stacks = rig
+    stacks[1].tcp.listen(80)
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=1.0, min_rto_s=0.3, max_rto_s=2.0)
+    sim.run(until=1.0)
+    # LAN RTTs are microseconds: RTO clamps at the floor
+    assert conn.rto_s >= 0.3
+    cluster.faults.fail("hub0")
+    conn.send_message(data="x", data_bytes=1)
+    sim.run(until=30.0)
+    assert conn.rto_s <= 2.0  # backoff respects the ceiling

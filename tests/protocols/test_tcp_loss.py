@@ -1,0 +1,64 @@
+"""TCP-lite under random frame loss: reliability and fast retransmit."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.simkit import Simulator
+
+
+def _lossy_rig(loss_rate, seed=0):
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 2, loss_rate=loss_rate, rng=np.random.default_rng(seed))
+    stacks = install_stacks(cluster)
+    return sim, cluster, stacks
+
+
+@pytest.mark.parametrize("loss,seed", [(0.05, 1), (0.15, 2), (0.30, 3)])
+def test_all_messages_delivered_in_order_under_loss(loss, seed):
+    sim, cluster, stacks = _lossy_rig(loss, seed)
+    inbox = []
+    stacks[1].tcp.listen(80, on_message=lambda c, d, s: inbox.append(d))
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=0.2, max_retries=30)
+    for i in range(60):
+        conn.send_message(data=i, data_bytes=200)
+    sim.run(until=600.0)
+    assert inbox == list(range(60)), f"loss={loss}: order or completeness violated"
+    assert conn.retransmissions.value > 0
+
+
+def test_fast_retransmit_triggers_under_loss():
+    # enough traffic and loss that a hole forms while later segments flow
+    sim, cluster, stacks = _lossy_rig(0.1, seed=7)
+    inbox = []
+    stacks[1].tcp.listen(80, on_message=lambda c, d, s: inbox.append(d))
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=2.0, window_segments=16, max_retries=30)
+    for i in range(200):
+        conn.send_message(data=i, data_bytes=100)
+    sim.run(until=900.0)
+    assert inbox == list(range(200))
+    assert conn.fast_retransmits.value > 0
+    # fast retransmit should beat the (deliberately huge) RTO most of the time
+    assert conn.fast_retransmits.value >= conn.retransmissions.value * 0.2
+
+
+def test_duplicate_data_does_not_duplicate_delivery():
+    sim, cluster, stacks = _lossy_rig(0.25, seed=11)
+    inbox = []
+    stacks[1].tcp.listen(80, on_message=lambda c, d, s: inbox.append(d))
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=0.2, max_retries=40)
+    for i in range(40):
+        conn.send_message(data=i, data_bytes=50)
+    sim.run(until=600.0)
+    assert inbox == list(range(40))  # exactly once, in order
+    assert conn.messages_delivered == 0  # deliveries counted on the receiver side
+
+
+def test_latencies_present_for_all_messages_after_loss():
+    sim, cluster, stacks = _lossy_rig(0.1, seed=5)
+    stacks[1].tcp.listen(80)
+    conn = stacks[0].tcp.connect(1, 80, initial_rto_s=0.2, max_retries=30)
+    ids = [conn.send_message(data=i, data_bytes=100) for i in range(30)]
+    sim.run(until=600.0)
+    assert all(mid in conn.message_latencies for mid in ids)

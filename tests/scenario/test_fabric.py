@@ -1,0 +1,49 @@
+"""Tests for the scenario fabric option (hub vs switch)."""
+
+import pytest
+
+from repro.scenario import ScenarioError, ScenarioSpec, run_scenario
+
+
+def _spec(**overrides):
+    raw = {
+        "name": "fabric-test",
+        "nodes": 4,
+        "duration_s": 5.0,
+        "protocol": {"kind": "drs", "sweep_period_s": 0.2, "probe_timeout_s": 0.01},
+    }
+    raw.update(overrides)
+    return ScenarioSpec.from_dict(raw)
+
+
+def test_default_fabric_is_hub():
+    assert _spec().fabric == "hub"
+
+
+def test_switch_fabric_runs_with_drs():
+    report = run_scenario(_spec(fabric="switch"))
+    assert report.duration_s == 5.0
+    assert report.wire_bits > 0
+
+
+def test_switch_fabric_fault_script_uses_switch_names():
+    report = run_scenario(
+        _spec(fabric="switch", faults=[{"at": 2.0, "fail": "switch0"}, {"at": 4.0, "repair": "switch0"}])
+    )
+    assert report.faults_injected == 2
+    assert report.routing_repairs >= 1
+
+
+def test_hub_names_rejected_on_switch_fabric():
+    with pytest.raises(ScenarioError, match="unknown component"):
+        run_scenario(_spec(fabric="switch", faults=[{"at": 1.0, "fail": "hub0"}]))
+
+
+def test_invalid_fabric_rejected():
+    with pytest.raises(ScenarioError, match="fabric"):
+        _spec(fabric="token-ring")
+
+
+def test_loss_rate_unsupported_on_switch():
+    with pytest.raises(ScenarioError, match="loss_rate"):
+        run_scenario(_spec(fabric="switch", loss_rate=0.1))

@@ -1,0 +1,107 @@
+"""Tests for scenario execution and the drs-sim CLI."""
+
+import json
+
+import pytest
+
+from repro.scenario import ScenarioError, ScenarioSpec, run_scenario
+from repro.scenario.cli import main
+
+
+def _spec(**overrides):
+    raw = {
+        "name": "test",
+        "nodes": 4,
+        "duration_s": 8.0,
+        "protocol": {"kind": "drs", "sweep_period_s": 0.2, "probe_timeout_s": 0.01},
+    }
+    raw.update(overrides)
+    return ScenarioSpec.from_dict(raw)
+
+
+def test_bare_scenario_runs():
+    report = run_scenario(_spec())
+    assert report.duration_s == 8.0
+    assert report.faults_injected == 0
+    assert report.wire_bits > 0  # DRS probes ran
+    assert "metric" in report.render()
+
+
+def test_fault_script_executes_and_repairs():
+    report = run_scenario(_spec(faults=[{"at": 2.0, "fail": "nic1.0"}, {"at": 5.0, "repair": "nic1.0"}]))
+    assert report.faults_injected == 2
+    assert report.routing_repairs >= 1
+    assert report.repair_latencies and min(report.repair_latencies) >= 0
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(ScenarioError, match="unknown component"):
+        run_scenario(_spec(faults=[{"at": 1.0, "fail": "nic99.7"}]))
+
+
+def test_stream_workload_metrics():
+    report = run_scenario(
+        _spec(workload={"kind": "stream", "src": 0, "dst": 2, "interval_s": 0.2, "message_bytes": 128})
+    )
+    metrics = report.workload_metrics
+    assert metrics["stream messages sent"] > 20
+    assert metrics["stream messages delivered"] > 20
+
+
+def test_stream_workload_validation():
+    with pytest.raises(ScenarioError, match="src/dst"):
+        run_scenario(_spec(workload={"kind": "stream", "src": 0, "dst": 0}))
+    with pytest.raises(ScenarioError, match="unknown stream options"):
+        run_scenario(_spec(workload={"kind": "stream", "sizee": 1}))
+
+
+def test_voicemail_workload_runs():
+    report = run_scenario(
+        _spec(nodes=5, workload={"kind": "voicemail", "call_rate_per_s": 20.0, "message_bytes": 1000})
+    )
+    assert report.workload_metrics["voicemail operations"] > 20
+
+
+def test_mpi_workload_runs():
+    report = run_scenario(
+        _spec(nodes=5, workload={"kind": "mpi", "iterations": 10, "compute_time_s": 0.01})
+    )
+    assert report.workload_metrics["mpi job completed"] is True
+
+
+def test_bad_protocol_options_rejected():
+    with pytest.raises(ScenarioError, match="bad protocol options"):
+        run_scenario(_spec(protocol={"kind": "drs", "swep_period_s": 1.0}))
+    with pytest.raises(ScenarioError, match="static protocol takes no options"):
+        run_scenario(_spec(protocol={"kind": "static", "x": 1}))
+
+
+def test_all_protocols_run():
+    for protocol in ({"kind": "static"}, {"kind": "reactive"}, {"kind": "distvector"}, {"kind": "linkstate"}):
+        report = run_scenario(_spec(protocol=protocol))
+        assert report.duration_s == 8.0
+
+
+def test_cli_single_report(tmp_path, capsys):
+    path = tmp_path / "s.json"
+    path.write_text(json.dumps({"name": "cli", "nodes": 3, "duration_s": 2.0}))
+    assert main([str(path)]) == 0
+    assert "scenario: cli" in capsys.readouterr().out
+
+
+def test_cli_compare_mode(tmp_path, capsys):
+    paths = []
+    for i, name in enumerate(("a", "b")):
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps({"name": name, "nodes": 3, "duration_s": 2.0}))
+        paths.append(str(path))
+    assert main(paths + ["--compare"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario comparison" in out and "a" in out and "b" in out
+
+
+def test_cli_reports_spec_errors(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"name": "x", "nodes": 1, "duration_s": 2.0}))
+    assert main([str(path)]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,92 @@
+"""Tests for scenario spec parsing and validation."""
+
+import json
+
+import pytest
+
+from repro.scenario import ScenarioError, ScenarioSpec, load_scenario
+
+
+def _minimal(**overrides):
+    raw = {"name": "t", "nodes": 4, "duration_s": 10.0}
+    raw.update(overrides)
+    return raw
+
+
+def test_minimal_spec_defaults():
+    spec = ScenarioSpec.from_dict(_minimal())
+    assert spec.protocol_kind == "static"
+    assert spec.workload_kind == "none"
+    assert spec.faults == ()
+    assert spec.loss_rate == 0.0 and spec.seed == 0
+
+
+def test_full_spec_roundtrip():
+    spec = ScenarioSpec.from_dict(
+        _minimal(
+            protocol={"kind": "drs", "sweep_period_s": 0.5},
+            workload={"kind": "stream", "src": 0, "dst": 1},
+            faults=[{"at": 5.0, "fail": "hub0"}, {"at": 2.0, "repair": "hub0"}],
+            loss_rate=0.01,
+            seed=9,
+        )
+    )
+    assert spec.protocol_options == {"sweep_period_s": 0.5}
+    assert spec.workload_options == {"src": 0, "dst": 1}
+    # fault steps sorted by time
+    assert [s.at for s in spec.faults] == [2.0, 5.0]
+    assert spec.faults[0].action == "repair"
+
+
+@pytest.mark.parametrize(
+    "mutation,message",
+    [
+        ({"nodes": 1}, "nodes"),
+        ({"duration_s": 0}, "duration_s"),
+        ({"protocol": {"kind": "ospf"}}, "protocol.kind"),
+        ({"protocol": "drs"}, "protocol"),
+        ({"workload": {"kind": "webserver"}}, "workload.kind"),
+        ({"faults": [{"fail": "hub0"}]}, "faults[0]"),
+        ({"faults": [{"at": 99.0, "fail": "hub0"}]}, "faults[0].at"),
+        ({"faults": [{"at": 1.0, "fail": "hub0", "repair": "hub1"}]}, "faults[0]"),
+        ({"loss_rate": 1.5}, "loss_rate"),
+    ],
+)
+def test_invalid_specs_rejected(mutation, message):
+    with pytest.raises(ScenarioError) as err:
+        ScenarioSpec.from_dict(_minimal(**mutation))
+    assert message.split(".")[0].split("[")[0] in str(err.value)
+
+
+def test_missing_required_field():
+    with pytest.raises(ScenarioError, match="name"):
+        ScenarioSpec.from_dict({"nodes": 4, "duration_s": 10.0})
+
+
+def test_non_dict_rejected():
+    with pytest.raises(ScenarioError):
+        ScenarioSpec.from_dict([1, 2, 3])
+
+
+def test_load_scenario_file(tmp_path):
+    path = tmp_path / "s.json"
+    path.write_text(json.dumps(_minimal()))
+    assert load_scenario(path).name == "t"
+
+
+def test_load_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ScenarioError, match="invalid JSON"):
+        load_scenario(path)
+
+
+def test_shipped_scenarios_parse():
+    from pathlib import Path
+
+    scenario_dir = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+    files = sorted(scenario_dir.glob("*.json"))
+    assert len(files) >= 4
+    for path in files:
+        spec = load_scenario(path)
+        assert spec.nodes >= 2

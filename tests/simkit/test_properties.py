@@ -1,0 +1,72 @@
+"""Property-based tests on the DES kernel's ordering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit import EventQueue, Simulator
+
+
+@given(times=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_events_fire_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule_at(t, lambda t=t: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(times=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=100))
+def test_clock_never_goes_backwards(times):
+    sim = Simulator()
+    observed = []
+    for t in times:
+        sim.schedule_at(t, lambda: observed.append(sim.now))
+    last = [0.0]
+
+    while sim.step():
+        assert sim.now >= last[0]
+        last[0] = sim.now
+
+
+@given(
+    n=st.integers(1, 100),
+    cancels=st.sets(st.integers(0, 99), max_size=50),
+)
+def test_cancelled_events_never_fire(n, cancels):
+    q = EventQueue()
+    fired = []
+    events = [q.push(float(i % 7), lambda i=i: fired.append(i)) for i in range(n)]
+    for i in cancels:
+        if i < n:
+            q.cancel(events[i])
+    while q:
+        q.pop().callback()
+    live = {i for i in range(n)} - {i for i in cancels if i < n}
+    assert set(fired) == live
+
+
+@given(st.lists(st.tuples(st.floats(0, 10, allow_nan=False), st.integers(-5, 5)), min_size=1, max_size=100))
+def test_priority_order_within_equal_times(entries):
+    q = EventQueue()
+    fired = []
+    for time, priority in entries:
+        q.push(time, lambda t=time, p=priority: fired.append((t, p)), priority=priority)
+    while q:
+        q.pop().callback()
+    assert fired == sorted(fired, key=lambda tp: (tp[0], tp[1]))
+
+
+@settings(deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), delays=st.lists(st.floats(0.001, 5), min_size=1, max_size=30))
+def test_simulation_run_is_deterministic(seed, delays):
+    def run_once():
+        sim = Simulator()
+        log = []
+        for i, d in enumerate(delays):
+            sim.schedule(d, lambda i=i: log.append((sim.now, i)))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,118 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.simkit import ScheduleInPastError, Simulator
+
+
+def test_run_drains_queue_in_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append(sim.now))
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0, 2.0]
+    assert sim.now == 2.0
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(7.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [7.5]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ScheduleInPastError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_schedule_nonfinite_raises():
+    sim = Simulator()
+    with pytest.raises(ScheduleInPastError):
+        sim.schedule_at(float("nan"), lambda: None)
+    with pytest.raises(ScheduleInPastError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(10.0, lambda: fired.append("b"))
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    # the later event survives and fires on the next run
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 10.0
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if sim.now < 3.0:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_same_time_rescheduling_is_fifo():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("first"), sim.schedule(0.0, lambda: fired.append("third"))))
+    sim.schedule(1.0, lambda: fired.append("second"))
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending == 1
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    sim.run(max_events=100)
+    assert count[0] == 100
+
+
+def test_cancel_scheduled_event():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.cancel(ev)
+    sim.run()
+    assert fired == []
+
+
+def test_step_returns_false_on_empty():
+    assert Simulator().step() is False

@@ -1,0 +1,96 @@
+"""Unit tests for counters, time-weighted values, and the trace recorder."""
+
+import pytest
+
+from repro.simkit import Counter, Simulator, TimeWeightedValue, TraceRecorder
+
+
+def test_counter_accumulates():
+    c = Counter("pkts")
+    c.add()
+    c.add(2.5)
+    assert c.value == 3.5 and c.events == 2
+    c.reset()
+    assert c.value == 0 and c.events == 0
+
+
+def test_time_weighted_mean_piecewise_constant():
+    sim = Simulator()
+    tw = TimeWeightedValue(sim, initial=0.0)
+    sim.schedule(2.0, lambda: tw.set(10.0))   # 0 for [0,2)
+    sim.schedule(6.0, lambda: tw.set(0.0))    # 10 for [2,6)
+    sim.run(until=10.0)                        # 0 for [6,10)
+    # integral = 0*2 + 10*4 + 0*4 = 40 over 10s
+    assert tw.mean() == pytest.approx(4.0)
+
+
+def test_time_weighted_add_and_value():
+    sim = Simulator()
+    tw = TimeWeightedValue(sim, initial=1.0)
+    tw.add(2.0)
+    assert tw.value == 3.0
+
+
+def test_time_weighted_mean_at_zero_duration():
+    sim = Simulator()
+    tw = TimeWeightedValue(sim, initial=7.0)
+    assert tw.mean() == 7.0
+
+
+def test_trace_records_time_and_fields():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    sim.schedule(1.5, lambda: tr.record("ping", src=1, dst=2))
+    sim.run()
+    (entry,) = tr.entries("ping")
+    assert entry.time == 1.5 and entry.fields == {"src": 1, "dst": 2}
+
+
+def test_trace_category_filtering_and_count():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    tr.record("a", i=1)
+    tr.record("b", i=2)
+    tr.record("a", i=3)
+    assert tr.count("a") == 2
+    assert [e.fields["i"] for e in tr.entries("a")] == [1, 3]
+    assert [e.fields["i"] for e in tr.iter_entries("b")] == [2]
+    assert len(tr) == 3
+
+
+def test_trace_last():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    assert tr.last("x") is None
+    tr.record("x", n=1)
+    tr.record("x", n=2)
+    assert tr.last("x").fields["n"] == 2
+
+
+def test_trace_disabled_records_nothing():
+    sim = Simulator()
+    tr = TraceRecorder(sim, enabled=False)
+    tr.record("a")
+    assert len(tr) == 0
+
+
+def test_trace_hooks_fire():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    seen = []
+    tr.add_hook(lambda e: seen.append(e.category))
+    tr.record("alpha")
+    tr.record("beta")
+    assert seen == ["alpha", "beta"]
+
+
+def test_trace_clear_keeps_hooks():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    seen = []
+    tr.add_hook(lambda e: seen.append(1))
+    tr.record("a")
+    tr.clear()
+    assert len(tr) == 0
+    tr.record("b")
+    assert seen == [1, 1]

@@ -1,0 +1,83 @@
+"""Tests for the outage timeline renderer."""
+
+import pytest
+
+from repro.drs import install_drs
+from repro.netsim import build_dual_backplane_cluster
+from repro.protocols import install_stacks
+from repro.simkit import Simulator
+from repro.viz import render_timeline
+
+from tests.drs.conftest import FAST
+
+
+def _trace_with_failure():
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 4)
+    stacks = install_stacks(cluster)
+    install_drs(cluster, stacks, FAST)
+    sim.run(until=1.0)
+    sim.schedule(1.0, lambda: cluster.faults.fail("nic1.0"))
+    sim.schedule(4.0, lambda: cluster.faults.repair("nic1.0"))
+    sim.run(until=6.0)
+    return cluster.trace.entries()
+
+
+def test_timeline_shows_fault_window_and_repairs():
+    text = render_timeline(_trace_with_failure(), t_end=6.0)
+    lines = text.splitlines()
+    nic_lane = next(l for l in lines if l.startswith("nic1.0"))
+    assert "X" in nic_lane
+    assert nic_lane.index("X") > 12  # failure starts mid-lane, not at t=0
+    pair_lane = next(l for l in lines if l.startswith("node0->1"))
+    assert "r" in pair_lane
+    # repair lands inside the component's down-window
+    nic_window = range(nic_lane.index("X"), len(nic_lane.rstrip()))
+    assert pair_lane.index("r") in nic_window
+    assert "legend" in lines[-1]
+
+
+def test_timeline_restore_glyph_after_two_hop_heal():
+    # a two-hop repair whose direct link heals produces a drs-restore (R)
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 4)
+    stacks = install_stacks(cluster)
+    install_drs(cluster, stacks, FAST)
+    sim.run(until=1.0)
+    cluster.faults.fail("nic0.1")
+    cluster.faults.fail("nic1.0")
+    sim.run(until=3.0)
+    cluster.faults.repair("nic1.0")
+    sim.run(until=5.0)
+    text = render_timeline(cluster.trace.entries(), t_end=5.0, node=0)
+    pair_lane = next(l for l in text.splitlines() if l.startswith("node0->1"))
+    assert "R" in pair_lane
+
+
+def test_timeline_open_ended_failure_runs_to_edge():
+    sim = Simulator()
+    cluster = build_dual_backplane_cluster(sim, 3)
+    cluster.faults.fail("hub0")
+    sim.run(until=2.0)
+    text = render_timeline(cluster.trace.entries(), t_end=2.0)
+    hub_lane = next(l for l in text.splitlines() if l.startswith("hub0"))
+    assert hub_lane.rstrip().endswith("X")
+
+
+def test_timeline_node_filter():
+    entries = _trace_with_failure()
+    text = render_timeline(entries, t_end=6.0, node=2)
+    lanes = [l for l in text.splitlines() if l.startswith("node")]
+    assert lanes and all(l.startswith("node2->") for l in lanes)
+
+
+def test_timeline_validation():
+    with pytest.raises(ValueError):
+        render_timeline([], width=5)
+    with pytest.raises(ValueError):
+        render_timeline([], t_start=5.0, t_end=5.0)
+
+
+def test_timeline_empty_trace_renders_axis():
+    text = render_timeline([], t_end=10.0)
+    assert "time" in text and "legend" in text

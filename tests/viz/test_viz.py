@@ -1,0 +1,83 @@
+"""Tests for chart, table, and CSV rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz import line_chart, render_table, write_csv
+
+
+def test_line_chart_contains_markers_and_legend():
+    chart = line_chart({"a": ([1, 2, 3], [1, 4, 9]), "b": ([1, 2, 3], [9, 4, 1])})
+    assert "o" in chart and "x" in chart
+    assert "legend: o=a  x=b" in chart
+
+
+def test_line_chart_axis_annotations():
+    chart = line_chart({"s": ([0, 10], [0, 100])}, x_label="n", y_label="p")
+    assert "100" in chart and "10" in chart
+    assert "x: n" in chart and "y: p" in chart
+
+
+def test_line_chart_log_axis():
+    chart = line_chart({"s": ([10, 100, 1000], [0.1, 0.01, 0.001])}, x_log=True, y_log=True)
+    assert "(log10)" not in chart  # labels absent -> no annotation line mentions
+    chart = line_chart(
+        {"s": ([10, 100], [1, 2])}, x_log=True, x_label="iterations"
+    )
+    assert "x: iterations (log10)" in chart
+
+
+def test_line_chart_log_axis_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        line_chart({"s": ([0, 1], [1, 2])}, x_log=True)
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart({})
+    with pytest.raises(ValueError):
+        line_chart({"s": ([1, 2], [1])})
+    with pytest.raises(ValueError):
+        line_chart({"s": ([], [])})
+    with pytest.raises(ValueError):
+        line_chart({"s": ([1], [1])}, width=5)
+
+
+def test_line_chart_constant_series():
+    chart = line_chart({"flat": ([1, 2, 3], [5, 5, 5])})
+    assert "o" in chart  # degenerate y-span must not divide by zero
+
+
+def test_line_chart_accepts_numpy_arrays():
+    chart = line_chart({"np": (np.arange(5), np.arange(5) ** 2)})
+    assert "legend" in chart
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "value"], [["alpha", 1.5], ["b", 20]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "alpha" in lines[2]
+    # numeric column right-aligned: both values end at the same column
+    assert lines[2].rstrip()[-3:] == "1.5"
+
+
+def test_render_table_title_and_empty():
+    out = render_table(["a"], [], title="caption")
+    assert out.splitlines()[0] == "caption"
+
+
+def test_render_table_validation():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = write_csv(tmp_path / "sub" / "out.csv", ["x", "y"], [[1, 2], [3, 4]])
+    content = path.read_text().strip().splitlines()
+    assert content == ["x,y", "1,2", "3,4"]
+
+
+def test_write_csv_validation(tmp_path):
+    with pytest.raises(ValueError):
+        write_csv(tmp_path / "bad.csv", ["x", "y"], [[1]])
