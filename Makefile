@@ -2,13 +2,33 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m compileall -q src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipped (compileall passed)"; \
+	fi
+
+# end-to-end check: a quick experiment must emit its observability artifacts
+smoke:
+	rm -rf /tmp/drs-smoke
+	$(PYTHON) -m repro.experiments.runner --quick figure2 --out /tmp/drs-smoke
+	test -f /tmp/drs-smoke/figure2.manifest.json
+	test -f /tmp/drs-smoke/figure2.metrics.jsonl
+	test -f /tmp/drs-smoke/figure2.metrics.prom
+	grep -q drs_probe_rtt_seconds /tmp/drs-smoke/figure2.metrics.jsonl
+	grep -q drs_failover_latency_seconds /tmp/drs-smoke/figure2.metrics.jsonl
+	$(PYTHON) -m repro obs /tmp/drs-smoke
+	@echo "smoke: OK"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

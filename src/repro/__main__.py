@@ -1,11 +1,11 @@
-"""``python -m repro``: package banner, version, and tool index."""
+"""``python -m repro``: package banner, version, tool index, and ``obs`` verb."""
 
 import sys
 
 from repro import __version__, crossover_n, success_probability
 
 
-def main() -> int:
+def _banner() -> int:
     """Print what this package is and how to drive it."""
     print(f"repro {__version__} — DRS network-survivability reproduction")
     print("(Chowdhury, Frieder, Luse, Wan — IPDPS 2000 Workshops)")
@@ -17,8 +17,22 @@ def main() -> int:
     print("  drs-experiments [--quick] [--html]   regenerate every figure/table")
     print("  drs-sim SPEC.json [--compare]        run declarative scenarios")
     print("  drs-analyze report N                 survivability calculator")
+    print("  python -m repro obs PATH...          inspect run manifests/metrics/traces")
     print("docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch: bare invocation prints the banner; ``obs`` inspects artifacts."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
+    if argv:
+        print(f"error: unknown verb {argv[0]!r} (try: obs)", file=sys.stderr)
+        return 2
+    return _banner()
 
 
 if __name__ == "__main__":

@@ -9,7 +9,11 @@ DRS reachability predicate without Python-level loops over iterations.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
+
+from repro.obs.profiler import publish_mc_throughput
 
 
 def sample_failure_matrix(n: int, f: int, iterations: int, rng: np.random.Generator) -> np.ndarray:
@@ -74,11 +78,15 @@ def simulate_success_probability(
     """
     remaining = iterations
     good = 0
+    started = perf_counter()
     while remaining > 0:
         size = min(remaining, batch)
         failed = sample_failure_matrix(n, f, size, rng)
         good += int(pair_connected_vec(failed, two_hop=two_hop).sum())
         remaining -= size
+    # One timing pair + registry update per call (not per batch): the
+    # instrumentation cost is amortized over the whole iteration budget.
+    publish_mc_throughput(iterations, perf_counter() - started)
     return good / iterations
 
 

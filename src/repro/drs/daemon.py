@@ -16,6 +16,7 @@ from repro.drs.failover import FailoverEngine
 from repro.drs.monitor import LinkMonitor
 from repro.drs.state import PeerTable
 from repro.netsim.topology import Cluster
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.protocols.stack import HostStack
 from repro.simkit import Process, Simulator, TraceRecorder
 
@@ -30,13 +31,14 @@ class DrsDaemon:
         peers: list[int],
         config: DrsConfig,
         trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.sim = sim
         self.stack = stack
         self.config = config
         self.table = PeerTable(owner=stack.node.node_id, peers=peers, networks=stack.node.networks)
-        self.monitor = LinkMonitor(sim, stack.icmp, self.table, config)
-        self.failover = FailoverEngine(sim, stack, self.table, config, trace=trace)
+        self.monitor = LinkMonitor(sim, stack.icmp, self.table, config, metrics=metrics)
+        self.failover = FailoverEngine(sim, stack, self.table, config, trace=trace, metrics=metrics)
         # Triggered updates (notify_peers): notifications prompt an immediate
         # out-of-band recheck of the announced link.
         self.failover.recheck_link = lambda peer, net: self.monitor.immediate_recheck(peer, net, lambda up: None)
@@ -111,17 +113,22 @@ def install_drs(
     stacks: dict[int, HostStack],
     config: DrsConfig | None = None,
     start: bool = True,
+    metrics: MetricsRegistry | None = None,
 ) -> DrsDeployment:
     """Install (and by default start) a DRS daemon on every cluster node.
 
     Every daemon monitors every other node on both networks — the full-mesh
-    check schedule the paper's deployment used within a cluster.
+    check schedule the paper's deployment used within a cluster.  All daemons
+    publish into one shared ``metrics`` registry (default: the current one).
     """
     if config is None:
         config = DrsConfig()
+    registry = resolve_registry(metrics)
     node_ids = [node.node_id for node in cluster.nodes]
     daemons = {
-        node_id: DrsDaemon(cluster.sim, stacks[node_id], peers=node_ids, config=config, trace=cluster.trace)
+        node_id: DrsDaemon(
+            cluster.sim, stacks[node_id], peers=node_ids, config=config, trace=cluster.trace, metrics=registry
+        )
         for node_id in node_ids
     }
     deployment = DrsDeployment(config=config, daemons=daemons)

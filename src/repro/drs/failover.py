@@ -42,6 +42,7 @@ from repro.drs.messages import (
 )
 from repro.drs.state import LinkState, PeerLink, PeerTable
 from repro.netsim.addresses import NetworkId, NodeId
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry, resolve_registry
 from repro.protocols.icmp import PingResult, PingStatus
 from repro.protocols.routing import Route, RouteSource
 from repro.protocols.stack import HostStack
@@ -73,6 +74,7 @@ class FailoverEngine:
         table: PeerTable,
         config: DrsConfig,
         trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.sim = sim
         self.stack = stack
@@ -94,6 +96,13 @@ class FailoverEngine:
         self.discoveries_started = Counter(f"drs{table.owner}.discoveries")
         self.failed_repairs = Counter(f"drs{table.owner}.failed_repairs")
         self.control_bytes = Counter(f"drs{table.owner}.control_bytes")
+        registry = resolve_registry(metrics)
+        self._m_repairs = registry.counter("drs_repairs_total")
+        self._m_discoveries = registry.counter("drs_discoveries_total")
+        self._m_failed = registry.counter("drs_failed_repairs_total")
+        self._m_control_bytes = registry.counter("drs_control_bytes_total")
+        self._m_latency = registry.histogram("drs_failover_latency_seconds")
+        self._m_fanout = registry.histogram("drs_broadcast_fanout", buckets=DEFAULT_COUNT_BUCKETS)
         table.on_transition(self._on_link_transition)
         stack.udp.bind(DRS_PORT, self._on_control)
 
@@ -145,9 +154,13 @@ class FailoverEngine:
             return
         self._notified_at[(peer, network)] = self.sim.now
         note = LinkDownNotification(origin=self.owner, peer=peer, network=network)
+        fanout = 0
         for net in self.stack.node.networks:
             if self.stack.udp.broadcast(net, DRS_PORT, data=note, data_bytes=LINK_DOWN_NOTIFICATION_BYTES):
                 self.control_bytes.add(LINK_DOWN_NOTIFICATION_BYTES)
+                self._m_control_bytes.add(LINK_DOWN_NOTIFICATION_BYTES)
+                fanout += 1
+        self._m_fanout.observe(fanout)
 
     def _repair(self, peer: NodeId, detected_at: float) -> None:
         # Step 1: try the second direct link.
@@ -199,6 +212,8 @@ class FailoverEngine:
         self.repaired_via.pop(peer, None)
         self.unreachable.discard(peer)
         self.repairs.add()
+        self._m_repairs.add()
+        self._m_latency.observe(self.sim.now - detected_at)
         if self.trace is not None:
             self.trace.record(
                 "drs-repair",
@@ -225,12 +240,17 @@ class FailoverEngine:
         )
         self._discoveries[request_id] = disc
         self.discoveries_started.add()
+        self._m_discoveries.add()
         request = DiscoveryRequest(origin=self.owner, target=target, request_id=request_id)
         sent_any = False
+        fanout = 0
         for net in self.stack.node.networks:
             if self.stack.udp.broadcast(net, DRS_PORT, data=request, data_bytes=DISCOVERY_REQUEST_BYTES):
                 self.control_bytes.add(DISCOVERY_REQUEST_BYTES)
+                self._m_control_bytes.add(DISCOVERY_REQUEST_BYTES)
                 sent_any = True
+                fanout += 1
+        self._m_fanout.observe(fanout)
         if not sent_any:
             # Both local NICs refused: the node is network-dead; nothing to do.
             self._settle_failure(disc)
@@ -252,6 +272,7 @@ class FailoverEngine:
         disc.settled = True
         self._discoveries.pop(disc.request_id, None)
         self.failed_repairs.add()
+        self._m_failed.add()
         self.unreachable.add(disc.target)
         if self.trace is not None:
             self.trace.record("drs-unreachable", node=self.owner, peer=disc.target)
@@ -275,6 +296,7 @@ class FailoverEngine:
         # volunteer is intact, or its offer could not have reached us).
         if self.stack.udp.send(offer.router, DRS_PORT, data=request, data_bytes=INSTALL_REQUEST_BYTES):
             self.control_bytes.add(INSTALL_REQUEST_BYTES)
+            self._m_control_bytes.add(INSTALL_REQUEST_BYTES)
         # Install optimistically on offer selection; the ack confirms, and a
         # failed install surfaces via the path checker.
         self._install_via(disc, offer)
@@ -298,6 +320,8 @@ class FailoverEngine:
         self.repaired_via[disc.target] = offer.router
         self.unreachable.discard(disc.target)
         self.repairs.add()
+        self._m_repairs.add()
+        self._m_latency.observe(self.sim.now - disc.failure_detected_at)
         if self.trace is not None:
             self.trace.record(
                 "drs-repair",
@@ -352,6 +376,7 @@ class FailoverEngine:
             offer = RouteOffer(router=self.owner, target=self.owner, request_id=msg.request_id, leg2_network=arrived_on)
             if self.stack.udp.send_direct(arrived_on, msg.origin, DRS_PORT, data=offer, data_bytes=ROUTE_OFFER_BYTES):
                 self.control_bytes.add(ROUTE_OFFER_BYTES)
+                self._m_control_bytes.add(ROUTE_OFFER_BYTES)
             return
         up_nets = self.table.up_networks_to(msg.target)
         if not up_nets:
@@ -361,6 +386,7 @@ class FailoverEngine:
         offer = RouteOffer(router=self.owner, target=msg.target, request_id=msg.request_id, leg2_network=leg2)
         if self.stack.udp.send_direct(arrived_on, msg.origin, DRS_PORT, data=offer, data_bytes=ROUTE_OFFER_BYTES):
             self.control_bytes.add(ROUTE_OFFER_BYTES)
+            self._m_control_bytes.add(ROUTE_OFFER_BYTES)
 
     def _pin_second_leg(self, msg: RouteInstallRequest) -> None:
         # Pin a direct host route for the target so forwarded traffic from
@@ -378,6 +404,7 @@ class FailoverEngine:
         ack = InstallAck(router=self.owner, target=msg.target, request_id=msg.request_id)
         if self.stack.udp.send(msg.origin, DRS_PORT, data=ack, data_bytes=INSTALL_ACK_BYTES):
             self.control_bytes.add(INSTALL_ACK_BYTES)
+            self._m_control_bytes.add(INSTALL_ACK_BYTES)
 
     # ------------------------------------------------------------ path checks
     def check_repaired_paths(self) -> None:

@@ -13,6 +13,7 @@ from typing import Callable
 
 from repro.drs.config import DrsConfig
 from repro.drs.state import PeerTable
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.protocols.icmp import IcmpService, PingResult, PingStatus
 from repro.simkit import Counter, Process, Simulator
 
@@ -26,6 +27,7 @@ class LinkMonitor:
         icmp: IcmpService,
         table: PeerTable,
         config: DrsConfig,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.sim = sim
         self.icmp = icmp
@@ -33,6 +35,10 @@ class LinkMonitor:
         self.config = config
         self.probes_sent = Counter(f"drs{table.owner}.probes")
         self.probe_bytes = Counter(f"drs{table.owner}.probe_bytes")
+        registry = resolve_registry(metrics)
+        self._m_probes = registry.counter("drs_probes_sent_total")
+        self._m_probe_bytes = registry.counter("drs_probe_bytes_total")
+        self._m_rtt = registry.histogram("drs_probe_rtt_seconds")
         self._proc: Process | None = None
         self._outstanding = 0
 
@@ -74,6 +80,8 @@ class LinkMonitor:
 
         self.probes_sent.add()
         self.probe_bytes.add(PROBE_WIRE_BYTES)
+        self._m_probes.add()
+        self._m_probe_bytes.add(PROBE_WIRE_BYTES)
         link = self.table.link(peer, network)
         link.last_probe_at = self.sim.now
         self._outstanding += 1
@@ -87,6 +95,8 @@ class LinkMonitor:
     def _on_result(self, result: PingResult) -> None:
         self._outstanding -= 1
         peer, network = result.dst_node, result.network
+        if result.rtt_s is not None:
+            self._m_rtt.observe(result.rtt_s)
         if result.status is PingStatus.REPLY:
             # (Reply wire bytes are accounted by the responder's backplane;
             # probe_bytes here tracks this daemon's request-side load.)
@@ -103,6 +113,8 @@ class LinkMonitor:
 
         def on_result(result: PingResult) -> None:
             up = result.status is PingStatus.REPLY
+            if result.rtt_s is not None:
+                self._m_rtt.observe(result.rtt_s)
             if up:
                 self.table.record_success(peer, network, self.sim.now)
             else:
@@ -113,4 +125,6 @@ class LinkMonitor:
 
         self.probes_sent.add()
         self.probe_bytes.add(PROBE_WIRE_BYTES)
+        self._m_probes.add()
+        self._m_probe_bytes.add(PROBE_WIRE_BYTES)
         self.icmp.ping_direct(network, peer, timeout_s=self.config.probe_timeout_s, callback=on_result)

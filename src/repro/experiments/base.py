@@ -39,6 +39,9 @@ class ExperimentResult:
     tables: dict[str, Table] = field(default_factory=dict)
     series: dict[str, Series] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: provenance for the run manifest: seed, iteration counts, parameters —
+    #: whatever is needed to rerun this exact result
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def add_table(self, key: str, headers: list[str], rows: list[list[Any]], caption: str = "") -> None:
         """Attach a table under ``key``."""

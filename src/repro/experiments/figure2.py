@@ -28,6 +28,12 @@ def run(
     paper's simulation points).
     """
     result = ExperimentResult("figure2")
+    result.meta = {
+        "seed": seed,
+        "f_values": list(f_values),
+        "n_max": n_max,
+        "mc_iterations": mc_iterations,
+    }
     curves: dict[str, tuple] = {}
     for f in f_values:
         ns, ps = success_curve(f, n_max=n_max)

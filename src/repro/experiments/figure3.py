@@ -28,6 +28,12 @@ def run(
     rng = np.random.default_rng(seed)
     study = convergence_study(list(f_values), list(iteration_grid), rng, n_max=n_max)
     result = ExperimentResult("figure3")
+    result.meta = {
+        "seed": seed,
+        "f_values": list(f_values),
+        "iteration_grid": list(iteration_grid),
+        "n_max": n_max,
+    }
     curves = {
         f"f={f}": (np.array(iteration_grid, dtype=float), study.series(f))
         for f in f_values

@@ -6,6 +6,11 @@ Usage::
     drs-experiments figure2 crossovers   # a subset
     drs-experiments --quick              # reduced iteration counts
     drs-experiments --out /tmp/results
+
+Every experiment also writes a run manifest (``<name>.manifest.json``) and a
+metrics snapshot (``<name>.metrics.jsonl`` + ``.prom``) next to its results,
+so ``results/`` directories are reproducible and diffable; disable with
+``--no-metrics``.  ``repro obs results/`` pretty-prints the artifacts.
 """
 
 from __future__ import annotations
@@ -15,6 +20,15 @@ import sys
 import time
 from pathlib import Path
 from typing import Callable
+
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    ensure_core_metrics,
+    install_profiling,
+    use_registry,
+    write_metrics_files,
+)
 
 from repro.experiments import (
     ablations,
@@ -83,6 +97,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="reduced iteration counts")
     parser.add_argument("--html", action="store_true", help="also write a combined results/index.html")
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip per-experiment manifest + metrics snapshot artifacts",
+    )
     args = parser.parse_args(argv)
 
     registry = _registry(args.quick)
@@ -97,13 +116,30 @@ def main(argv: list[str] | None = None) -> int:
 
     out_dir = Path(args.out)
     results = []
+    if not args.no_metrics:
+        # Profile every simulator the experiments build internally; each
+        # run() publishes into whichever registry is current at the time.
+        install_profiling()
     for name in names:
         started = time.perf_counter()
         print(f"[drs-experiments] running {name} ...", flush=True)
-        result = registry[name]()
+        metrics = ensure_core_metrics(MetricsRegistry())
+        with use_registry(metrics):
+            result = registry[name]()
         results.append(result)
         files = result.write(out_dir)
         elapsed = time.perf_counter() - started
+        if not args.no_metrics:
+            manifest = RunManifest.build(
+                name=name,
+                kind="experiment",
+                seed=result.meta.get("seed"),
+                config={"quick": args.quick, **result.meta},
+                wall_seconds=elapsed,
+                event_count=int(metrics.counter("sim_events_total").value),
+            )
+            manifest.write(out_dir / f"{name}.manifest.json")
+            write_metrics_files(metrics, out_dir, name)
         print(result.render())
         print(f"[drs-experiments] {name} done in {elapsed:.1f}s -> {files[0]}", flush=True)
     if args.html:

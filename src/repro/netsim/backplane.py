@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.netsim.addresses import NetworkId
 from repro.netsim.component import Component, ComponentKind
 from repro.netsim.frames import Frame
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.simkit import Counter, Simulator, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -49,6 +50,7 @@ class Backplane(Component):
         trace: TraceRecorder | None = None,
         loss_rate: float = 0.0,
         rng=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(name=f"hub{network_id}", kind=ComponentKind.HUB)
         if bandwidth_bps <= 0:
@@ -73,6 +75,10 @@ class Backplane(Component):
         self.bits_carried = Counter(f"hub{network_id}.bits")
         self.frames_carried = Counter(f"hub{network_id}.frames")
         self.frames_dropped = Counter(f"hub{network_id}.drops")
+        registry = resolve_registry(metrics)
+        self._m_bits = registry.counter("net_bits_carried_total")
+        self._m_drops = registry.counter("net_frames_dropped_total")
+        self._m_queue_depth = registry.histogram("net_queue_depth_seconds")
 
     # ------------------------------------------------------------ attachment
     def attach(self, nic: "Nic") -> None:
@@ -102,10 +108,12 @@ class Backplane(Component):
         now = self.sim.now
         tx_time = frame.wire_bits / self.bandwidth_bps
         start = max(now, self._medium_free_at)
+        self._m_queue_depth.observe(start - now)
         done = start + tx_time
         self._medium_free_at = done
         self.bits_carried.add(frame.wire_bits)
         self.frames_carried.add()
+        self._m_bits.add(frame.wire_bits)
         self.sim.schedule_at(done + self.prop_delay_s, lambda: self._deliver(frame, sender))
 
     def set_loss_rate(self, loss_rate: float, rng=None) -> None:
@@ -140,7 +148,8 @@ class Backplane(Component):
 
     def _drop(self, frame: Frame, reason: str) -> None:
         self.frames_dropped.add()
-        if self.trace is not None:
+        self._m_drops.add()
+        if self.trace is not None and self.trace.wants("drop"):
             self.trace.record(
                 "drop", where=self.name, reason=reason, frame=str(frame), network=self.network_id
             )

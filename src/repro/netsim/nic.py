@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.netsim.addresses import InterfaceAddr
 from repro.netsim.component import Component, ComponentKind
 from repro.netsim.frames import Frame
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.simkit import Counter, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -21,7 +22,13 @@ class Nic(Component):
     field study attributes 13% of hardware faults to.
     """
 
-    def __init__(self, addr: InterfaceAddr, backplane: "Backplane", trace: TraceRecorder | None = None) -> None:
+    def __init__(
+        self,
+        addr: InterfaceAddr,
+        backplane: "Backplane",
+        trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         super().__init__(name=f"nic{addr.node}.{addr.network}", kind=ComponentKind.NIC)
         self.addr = addr
         self.backplane = backplane
@@ -36,6 +43,10 @@ class Nic(Component):
         self.frames_sent = Counter(f"{self.name}.tx")
         self.frames_received = Counter(f"{self.name}.rx")
         self.frames_dropped = Counter(f"{self.name}.drops")
+        registry = resolve_registry(metrics)
+        self._m_tx = registry.counter("net_frames_sent_total")
+        self._m_rx = registry.counter("net_frames_received_total")
+        self._m_drops = registry.counter("net_frames_dropped_total")
         backplane.attach(self)
 
     def set_receiver(self, receiver: Callable[[Frame, "Nic"], None]) -> None:
@@ -90,6 +101,7 @@ class Nic(Component):
             self._drop(frame, reason="tx-degraded")
             return True
         self.frames_sent.add()
+        self._m_tx.add()
         self.backplane.transmit(frame, self)
         return True
 
@@ -103,10 +115,12 @@ class Nic(Component):
             self._drop(frame, reason="rx-degraded")
             return
         self.frames_received.add()
+        self._m_rx.add()
         if self._receiver is not None:
             self._receiver(frame, self)
 
     def _drop(self, frame: Frame, reason: str) -> None:
         self.frames_dropped.add()
-        if self.trace is not None:
+        self._m_drops.add()
+        if self.trace is not None and self.trace.wants("drop"):
             self.trace.record("drop", where=self.name, reason=reason, frame=str(frame))

@@ -212,6 +212,10 @@ def build_dual_switched_cluster(
         for net in (0, 1):
             node.add_nic(Nic(InterfaceAddr(node=i, network=net), switches[net], trace=trace))
         nodes.append(node)
-    cluster = Cluster(sim=sim, nodes=nodes, backplanes=switches, faults=None, trace=trace)  # type: ignore[arg-type]
+    from repro.obs.metrics import resolve_registry
+
+    cluster = Cluster(
+        sim=sim, nodes=nodes, backplanes=switches, faults=None, trace=trace, metrics=resolve_registry(None)  # type: ignore[arg-type]
+    )
     cluster.faults = FaultInjector(sim, component_universe(cluster), trace=trace)
     return cluster

@@ -9,6 +9,7 @@ from repro.netsim.backplane import Backplane
 from repro.netsim.faults import FaultInjector, component_universe
 from repro.netsim.nic import Nic
 from repro.netsim.node import Node
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.simkit import Simulator, TraceRecorder
 
 
@@ -21,6 +22,8 @@ class Cluster:
     backplanes: list[Backplane]
     faults: FaultInjector
     trace: TraceRecorder
+    #: shared metrics registry every component of this cluster publishes into
+    metrics: MetricsRegistry | None = None
 
     @property
     def n(self) -> int:
@@ -44,6 +47,7 @@ def build_dual_backplane_cluster(
     trace: TraceRecorder | None = None,
     loss_rate: float = 0.0,
     rng=None,
+    metrics: MetricsRegistry | None = None,
 ) -> Cluster:
     """Build the paper's topology: ``n`` dual-NIC servers on two hubs.
 
@@ -71,6 +75,7 @@ def build_dual_backplane_cluster(
         raise ValueError(f"a cluster needs at least 2 nodes, got {n}")
     if trace is None:
         trace = TraceRecorder(sim)
+    registry = resolve_registry(metrics)
     backplanes = [
         Backplane(
             sim,
@@ -80,6 +85,7 @@ def build_dual_backplane_cluster(
             trace=trace,
             loss_rate=loss_rate,
             rng=rng,
+            metrics=registry,
         )
         for net in (0, 1)
     ]
@@ -87,8 +93,12 @@ def build_dual_backplane_cluster(
     for i in range(n):
         node = Node(sim, node_id=i)
         for net in (0, 1):
-            node.add_nic(Nic(InterfaceAddr(node=i, network=net), backplanes[net], trace=trace))
+            node.add_nic(
+                Nic(InterfaceAddr(node=i, network=net), backplanes[net], trace=trace, metrics=registry)
+            )
         nodes.append(node)
-    cluster = Cluster(sim=sim, nodes=nodes, backplanes=backplanes, faults=None, trace=trace)  # type: ignore[arg-type]
+    cluster = Cluster(
+        sim=sim, nodes=nodes, backplanes=backplanes, faults=None, trace=trace, metrics=registry  # type: ignore[arg-type]
+    )
     cluster.faults = FaultInjector(sim, component_universe(cluster), trace=trace)
     return cluster

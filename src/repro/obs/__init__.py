@@ -1,0 +1,62 @@
+"""Observability layer: metrics registry, run artifacts, and profiling.
+
+``repro.obs`` is the measurement substrate the rest of the stack publishes
+into:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with named counters,
+  gauges, and fixed-bucket histograms; Prometheus-text and JSONL export;
+  a swappable *current* registry for per-run scoping.
+* :mod:`repro.obs.artifacts` — :class:`RunManifest` (seed, config hash,
+  wall time, event count, package version) plus metrics-snapshot and
+  trace-JSONL writers, emitted next to every experiment/scenario result.
+* :mod:`repro.obs.profiler` — simulator event-loop accounting and Monte
+  Carlo throughput publication.
+* :mod:`repro.obs.cli` — the ``repro obs`` pretty-printer.
+* :mod:`repro.obs.compat` — deprecation shims for the legacy primitives.
+"""
+
+from repro.obs.artifacts import (
+    RunManifest,
+    load_manifest,
+    spec_hash,
+    write_metrics_files,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    ensure_core_metrics,
+    resolve_registry,
+    use_registry,
+)
+from repro.obs.profiler import (
+    install_profiling,
+    publish_mc_throughput,
+    publish_profile,
+    uninstall_profiling,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "current_registry",
+    "resolve_registry",
+    "use_registry",
+    "ensure_core_metrics",
+    "RunManifest",
+    "load_manifest",
+    "spec_hash",
+    "write_metrics_files",
+    "write_trace_jsonl",
+    "install_profiling",
+    "uninstall_profiling",
+    "publish_profile",
+    "publish_mc_throughput",
+]

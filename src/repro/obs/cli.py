@@ -1,0 +1,142 @@
+"""``repro obs``: pretty-print observability artifacts.
+
+Usage::
+
+    python -m repro obs results/                 # everything in a directory
+    python -m repro obs results/figure2.manifest.json
+    python -m repro obs /tmp/r/nic.metrics.jsonl /tmp/r/nic.trace.jsonl
+
+Dispatches on artifact suffix: ``*.manifest.json`` (run provenance),
+``*.metrics.jsonl`` / ``*.metrics.prom`` (registry snapshots), and
+``*.trace.jsonl`` (event traces, summarized by category).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import Counter as TallyCounter
+from pathlib import Path
+
+from repro.obs.artifacts import load_manifest
+from repro.viz import metrics_summary_table, render_table
+
+ARTIFACT_GLOBS = ("*.manifest.json", "*.metrics.jsonl", "*.metrics.prom", "*.trace.jsonl")
+
+
+def _render_manifest(path: Path) -> str:
+    manifest = load_manifest(path)
+    rows = [
+        ["name", manifest.name],
+        ["kind", manifest.kind],
+        ["seed", manifest.seed if manifest.seed is not None else "-"],
+        ["config hash", manifest.config_hash],
+        ["wall seconds", manifest.wall_seconds],
+        ["event count", manifest.event_count],
+        ["package version", manifest.package_version],
+        ["python", manifest.python],
+        ["schema version", manifest.schema_version],
+    ]
+    for key, value in sorted(manifest.extra.items()):
+        rows.append([key, value])
+    config = json.dumps(manifest.config, sort_keys=True, default=str)
+    if len(config) > 100:
+        config = config[:97] + "..."
+    rows.append(["config", config])
+    return render_table(["field", "value"], rows, title=f"manifest: {path.name}")
+
+
+def _render_metrics_jsonl(path: Path) -> str:
+    snapshot = [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+    return metrics_summary_table(snapshot, title=f"metrics: {path.name}")
+
+
+def _render_trace_jsonl(path: Path) -> str:
+    tally: TallyCounter = TallyCounter()
+    first: dict[str, float] = {}
+    last: dict[str, float] = {}
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        category = row.get("category", "?")
+        tally[category] += 1
+        t = float(row.get("time", 0.0))
+        first.setdefault(category, t)
+        last[category] = t
+    rows = [
+        [category, count, first[category], last[category]]
+        for category, count in sorted(tally.items(), key=lambda kv: -kv[1])
+    ]
+    if not rows:
+        return f"trace: {path.name}: (empty)"
+    return render_table(
+        ["category", "entries", "first (s)", "last (s)"], rows, title=f"trace: {path.name}"
+    )
+
+
+def render_artifact(path: Path) -> str:
+    """Pretty-print one artifact file by suffix."""
+    name = path.name
+    if name.endswith(".manifest.json"):
+        return _render_manifest(path)
+    if name.endswith(".metrics.jsonl"):
+        return _render_metrics_jsonl(path)
+    if name.endswith(".metrics.prom"):
+        return f"prometheus snapshot: {path.name}\n{path.read_text().rstrip()}"
+    if name.endswith(".trace.jsonl"):
+        return _render_trace_jsonl(path)
+    raise ValueError(f"unrecognized artifact {path} (expected {', '.join(ARTIFACT_GLOBS)})")
+
+
+def _expand(paths: list[str]) -> list[Path]:
+    expanded: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for pattern in ARTIFACT_GLOBS:
+                expanded.extend(sorted(path.glob(pattern)))
+        else:
+            expanded.append(path)
+    return expanded
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Pretty-print run manifests, metrics snapshots, and trace dumps.",
+    )
+    parser.add_argument("paths", nargs="+", help="artifact files or results directories")
+    parser.add_argument("--raw", action="store_true", help="dump file contents without rendering")
+    args = parser.parse_args(argv)
+
+    paths = _expand(args.paths)
+    if not paths:
+        print("no observability artifacts found", file=sys.stderr)
+        return 1
+    status = 0
+    try:
+        for path in paths:
+            if not path.exists():
+                print(f"error: {path}: no such file", file=sys.stderr)
+                status = 1
+                continue
+            try:
+                print(path.read_text().rstrip() if args.raw else render_artifact(path))
+            except (ValueError, json.JSONDecodeError, TypeError) as exc:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            print()
+    except BrokenPipeError:
+        # reader (e.g. `| head`) closed the pipe: exit quietly, and point
+        # stdout at devnull so the interpreter's final flush doesn't retrip
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

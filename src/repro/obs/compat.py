@@ -1,0 +1,37 @@
+"""Deprecation shims for the pre-registry measurement primitives.
+
+``Counter`` and ``TimeWeightedValue`` remain fully supported at their home in
+:mod:`repro.simkit.trace` — nothing breaks, no behavior changes.  Importing
+them *through this module* marks a call site as knowingly legacy and emits a
+:class:`DeprecationWarning` pointing at the migration target, so experiments
+can be converted to :class:`~repro.obs.metrics.MetricsRegistry` one site at a
+time while the warnings inventory what is left.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.simkit import trace as _trace
+
+_SHIMS = {
+    "Counter": "MetricsRegistry.counter(name)",
+    "TimeWeightedValue": "MetricsRegistry.gauge(name) plus registry histograms",
+}
+
+
+def __getattr__(name: str):
+    if name in _SHIMS:
+        warnings.warn(
+            f"repro.obs.compat.{name} is a deprecation shim; migrate to "
+            f"repro.obs.metrics.{_SHIMS[name]} (the class itself still lives in "
+            "repro.simkit.trace and is unchanged)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_SHIMS))

@@ -1,0 +1,71 @@
+"""Profiling glue: simulator event-loop accounting into the metrics registry.
+
+``simkit`` exposes a dependency-free hook (:func:`repro.simkit.set_auto_profile`)
+that profiles every subsequently created :class:`~repro.simkit.Simulator` and
+hands the profile to a sink after each ``run()``.  This module provides the
+sink that publishes those numbers — events fired, callback seconds by
+category, events/sec — into whatever registry is *current* at publication
+time, so experiment drivers get per-run simulator throughput for free after
+one :func:`install_profiling` call.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import current_registry
+from repro.simkit.simulator import SimProfile, set_auto_profile
+
+_installed = False
+
+
+def publish_profile(profile: SimProfile) -> None:
+    """Add a profile's unpublished deltas to the current registry.
+
+    Safe to call repeatedly (after every ``run()``): only growth since the
+    previous publication is added, so totals stay correct across resumed
+    simulations and multiple simulators.
+    """
+    deltas = profile.drain_deltas()
+    if deltas["events"] == 0 and deltas["run_seconds"] == 0.0:
+        return
+    registry = current_registry()
+    events_total = registry.counter("sim_events_total")
+    cb_total = registry.counter("sim_callback_seconds_total")
+    run_total = registry.counter("sim_run_seconds_total")
+    events_total.add(deltas["events"])
+    cb_total.add(deltas["callback_seconds"])
+    run_total.add(deltas["run_seconds"])
+    for category, (n, secs) in deltas["by_category"].items():
+        registry.counter("sim_events_total", labels={"category": category}).add(n)
+        registry.counter("sim_callback_seconds_total", labels={"category": category}).add(secs)
+    if run_total.value > 0:
+        registry.gauge("sim_events_per_second").set(events_total.value / run_total.value)
+
+
+def install_profiling() -> None:
+    """Profile every simulator created from now on, publishing via the sink."""
+    global _installed
+    set_auto_profile(True, sink=publish_profile)
+    _installed = True
+
+
+def uninstall_profiling() -> None:
+    """Stop auto-profiling new simulators (existing ones keep their profile)."""
+    global _installed
+    set_auto_profile(False)
+    _installed = False
+
+
+def profiling_installed() -> bool:
+    """True while :func:`install_profiling` is in effect."""
+    return _installed
+
+
+def publish_mc_throughput(iterations: int, wall_seconds: float) -> None:
+    """Record a completed Monte Carlo batch run in the current registry."""
+    registry = current_registry()
+    total = registry.counter("mc_iterations_total")
+    wall = registry.counter("mc_wall_seconds_total")
+    total.add(iterations)
+    wall.add(wall_seconds)
+    if wall.value > 0:
+        registry.gauge("mc_iterations_per_second").set(total.value / wall.value)

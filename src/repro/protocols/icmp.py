@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.netsim.addresses import NetworkId, NodeId
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.protocols.ip import NetworkLayer
 from repro.protocols.packet import ICMP_HEADER_BYTES, Packet
 from repro.simkit import Counter, Simulator
@@ -80,7 +81,7 @@ class IcmpService:
 
     PROTOCOL = "icmp"
 
-    def __init__(self, sim: Simulator, net: NetworkLayer) -> None:
+    def __init__(self, sim: Simulator, net: NetworkLayer, metrics: MetricsRegistry | None = None) -> None:
         self.sim = sim
         self.net = net
         # (ident, seq) -> (timeout event, callback, sent_at, network or None)
@@ -88,6 +89,7 @@ class IcmpService:
         self.requests_answered = Counter(f"icmp{net.node.node_id}.answered")
         self.replies_matched = Counter(f"icmp{net.node.node_id}.matched")
         self.timeouts = Counter(f"icmp{net.node.node_id}.timeouts")
+        self._m_timeouts = resolve_registry(metrics).counter("icmp_timeouts_total")
         net.register_protocol(self.PROTOCOL, self._on_packet)
 
     # ------------------------------------------------------------------ client
@@ -138,6 +140,7 @@ class IcmpService:
             return
         _, callback, _, network, dst_node = entry
         self.timeouts.add()
+        self._m_timeouts.add()
         callback(PingResult(PingStatus.TIMEOUT, dst_node, network, None))
 
     # --------------------------------------------------------------- responder

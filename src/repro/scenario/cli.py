@@ -4,13 +4,29 @@ Usage::
 
     drs-sim examples/scenarios/nic_failure_drs.json
     drs-sim --compare examples/scenarios/nic_failure_*.json
+    drs-sim --metrics-out /tmp/obs examples/scenarios/nic_failure_drs.json
+
+``--metrics-out DIR`` writes, per scenario, a run manifest plus metrics
+snapshots (JSONL + Prometheus text) and the event trace as JSONL; inspect
+them with ``repro obs DIR``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+import time
+from pathlib import Path
 
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    ensure_core_metrics,
+    install_profiling,
+    write_metrics_files,
+    write_trace_jsonl,
+)
 from repro.scenario.run import run_scenario
 from repro.scenario.spec import ScenarioError, load_scenario
 from repro.viz import render_table
@@ -28,17 +44,44 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="render one side-by-side table instead of per-scenario reports",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        default=None,
+        help="write per-scenario manifest, metrics snapshot, and trace JSONL here",
+    )
     args = parser.parse_args(argv)
+
+    obs_dir = Path(args.metrics_out) if args.metrics_out else None
+    if obs_dir is not None:
+        install_profiling()
 
     reports = []
     for path in args.scenarios:
+        metrics = ensure_core_metrics(MetricsRegistry())
+        started = time.perf_counter()
         try:
             spec = load_scenario(path)
-            report = run_scenario(spec)
+            report = run_scenario(spec, metrics=metrics)
         except ScenarioError as exc:
             print(f"error: {path}: {exc}", file=sys.stderr)
             return 2
         reports.append(report)
+        if obs_dir is not None:
+            manifest = RunManifest.build(
+                name=spec.name,
+                kind="scenario",
+                seed=spec.seed,
+                config=dataclasses.asdict(spec),
+                wall_seconds=time.perf_counter() - started,
+                event_count=int(metrics.counter("sim_events_total").value),
+                source=str(path),
+            )
+            obs_dir.mkdir(parents=True, exist_ok=True)
+            manifest.write(obs_dir / f"{spec.name}.manifest.json")
+            write_metrics_files(metrics, obs_dir, spec.name)
+            if report.trace is not None:
+                write_trace_jsonl(report.trace, obs_dir / f"{spec.name}.trace.jsonl")
         if not args.compare:
             print(report.render())
             print()

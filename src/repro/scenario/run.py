@@ -25,9 +25,10 @@ from repro.cluster import (
 )
 from repro.drs import DrsConfig, install_drs
 from repro.netsim import FaultScenario, build_dual_backplane_cluster
+from repro.obs import MetricsRegistry, resolve_registry, use_registry
 from repro.protocols import install_stacks
 from repro.scenario.spec import ScenarioError, ScenarioSpec
-from repro.simkit import Process, Simulator
+from repro.simkit import Process, Simulator, TraceRecorder
 from repro.viz import render_table
 
 
@@ -44,6 +45,8 @@ class ScenarioReport:
     wire_utilization: float
     workload_metrics: dict[str, Any] = field(default_factory=dict)
     repair_latencies: list[float] = field(default_factory=list)
+    #: the cluster's TraceRecorder, kept so callers can dump a JSONL trace
+    trace: TraceRecorder | None = None
 
     def render(self) -> str:
         """Human-readable report."""
@@ -160,8 +163,18 @@ def _start_workload(spec: ScenarioSpec, sim, cluster, stacks, rng):
     raise ScenarioError(f"unknown workload {kind!r}")
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
-    """Build, run, and measure one scenario."""
+def run_scenario(spec: ScenarioSpec, metrics: MetricsRegistry | None = None) -> ScenarioReport:
+    """Build, run, and measure one scenario.
+
+    ``metrics`` scopes every component's observability counters/histograms to
+    that registry for the duration of the run; by default they land in the
+    process-wide registry.
+    """
+    with use_registry(resolve_registry(metrics)):
+        return _run_scenario(spec)
+
+
+def _run_scenario(spec: ScenarioSpec) -> ScenarioReport:
     sim = Simulator()
     rng = np.random.default_rng(spec.seed)
     if spec.fabric == "switch":
@@ -209,4 +222,5 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
         wire_utilization=utilization,
         workload_metrics=workload_metrics(),
         repair_latencies=latencies,
+        trace=cluster.trace,
     )

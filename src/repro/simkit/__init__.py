@@ -22,13 +22,15 @@ event loop is not the hot path (the vectorized Monte Carlo estimator in
 
 from repro.simkit.errors import SimulationError, ScheduleInPastError, StoppedSimulation
 from repro.simkit.events import Event, EventQueue
-from repro.simkit.simulator import Simulator
+from repro.simkit.simulator import SimProfile, Simulator, set_auto_profile
 from repro.simkit.process import Process, Signal, Timeout
 from repro.simkit.rng import RngRegistry
 from repro.simkit.trace import Counter, TimeWeightedValue, TraceRecorder, TraceEntry
 
 __all__ = [
     "Simulator",
+    "SimProfile",
+    "set_auto_profile",
     "Event",
     "EventQueue",
     "Process",

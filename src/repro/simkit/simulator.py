@@ -3,10 +3,104 @@
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.simkit.errors import ScheduleInPastError
 from repro.simkit.events import Event, EventQueue
+
+
+class SimProfile:
+    """Wall-clock accounting of one simulator's event loop.
+
+    Tracks events fired, callback time by category (defaulting to the
+    defining module of each callback), and total time inside :meth:`run`,
+    from which events/sec falls out.  ``drain_deltas`` supports incremental
+    publication into a metrics registry across repeated ``run`` calls.
+    """
+
+    __slots__ = ("events", "callback_seconds", "run_seconds", "by_category", "_published")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.callback_seconds = 0.0
+        self.run_seconds = 0.0
+        #: category -> [events, callback seconds]
+        self.by_category: dict[str, list] = {}
+        self._published = [0, 0.0, 0.0, {}]
+
+    def record(self, category: str, seconds: float) -> None:
+        """Account one fired event."""
+        self.events += 1
+        self.callback_seconds += seconds
+        slot = self.by_category.get(category)
+        if slot is None:
+            self.by_category[category] = [1, seconds]
+        else:
+            slot[0] += 1
+            slot[1] += seconds
+
+    def events_per_second(self) -> float:
+        """Throughput over all :meth:`Simulator.run` wall time so far."""
+        return self.events / self.run_seconds if self.run_seconds > 0 else 0.0
+
+    def drain_deltas(self) -> dict[str, Any]:
+        """What changed since the last drain (for incremental publication)."""
+        pub_events, pub_cb, pub_run, pub_cat = self._published
+        deltas = {
+            "events": self.events - pub_events,
+            "callback_seconds": self.callback_seconds - pub_cb,
+            "run_seconds": self.run_seconds - pub_run,
+            "by_category": {},
+        }
+        for category, (n, secs) in self.by_category.items():
+            seen_n, seen_s = pub_cat.get(category, (0, 0.0))
+            if n != seen_n or secs != seen_s:
+                deltas["by_category"][category] = (n - seen_n, secs - seen_s)
+        self._published = [
+            self.events,
+            self.callback_seconds,
+            self.run_seconds,
+            {c: tuple(v) for c, v in self.by_category.items()},
+        ]
+        return deltas
+
+    def summary_rows(self) -> list[list]:
+        """Per-category rows (category, events, seconds, share) for tables."""
+        total = self.callback_seconds or 1.0
+        rows = [
+            [category, n, secs, secs / total]
+            for category, (n, secs) in sorted(
+                self.by_category.items(), key=lambda kv: kv[1][1], reverse=True
+            )
+        ]
+        return rows
+
+
+def _default_categorize(callback: Callable[[], Any]) -> str:
+    module = getattr(callback, "__module__", None)
+    if module is None:
+        func = getattr(callback, "func", None)  # functools.partial
+        module = getattr(func, "__module__", None)
+    return module.rsplit(".", 1)[-1] if module else "uncategorized"
+
+
+#: when True, every new Simulator starts with profiling enabled and reports
+#: into _PROFILE_SINK after each run() — set by repro.obs, never imported here
+_AUTO_PROFILE = False
+_PROFILE_SINK: Callable[[SimProfile], None] | None = None
+
+
+def set_auto_profile(enabled: bool, sink: Callable[[SimProfile], None] | None = None) -> None:
+    """Globally profile every subsequently created :class:`Simulator`.
+
+    ``sink`` (if given) is invoked with the profile after each ``run()``;
+    the observability layer uses this to publish into the current metrics
+    registry without simkit depending on it.
+    """
+    global _AUTO_PROFILE, _PROFILE_SINK
+    _AUTO_PROFILE = enabled
+    _PROFILE_SINK = sink if enabled else None
 
 
 class Simulator:
@@ -32,6 +126,32 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._stopped = False
+        self._profile: SimProfile | None = SimProfile() if _AUTO_PROFILE else None
+        self._categorize: Callable[[Callable[[], Any]], str] = _default_categorize
+
+    # -------------------------------------------------------------- profiling
+    @property
+    def profile(self) -> SimProfile | None:
+        """Event-loop accounting, or ``None`` while profiling is off."""
+        return self._profile
+
+    def enable_profiling(
+        self, categorize: Callable[[Callable[[], Any]], str] | None = None
+    ) -> SimProfile:
+        """Start (or continue) wall-clock accounting of the event loop.
+
+        ``categorize`` maps a callback to a bucket name; the default buckets
+        by the callback's defining module (``icmp``, ``monitor``, ...).
+        """
+        if categorize is not None:
+            self._categorize = categorize
+        if self._profile is None:
+            self._profile = SimProfile()
+        return self._profile
+
+    def disable_profiling(self) -> None:
+        """Stop accounting; the accumulated profile is discarded."""
+        self._profile = None
 
     # ------------------------------------------------------------------ clock
     @property
@@ -74,7 +194,13 @@ class Simulator:
             return False
         ev = self._queue.pop()
         self._now = ev.time
-        ev.callback()
+        prof = self._profile
+        if prof is None:
+            ev.callback()
+        else:
+            started = perf_counter()
+            ev.callback()
+            prof.record(self._categorize(ev.callback), perf_counter() - started)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -91,6 +217,8 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        prof = self._profile
+        run_started = perf_counter() if prof is not None else 0.0
         try:
             while self._queue and not self._stopped:
                 if max_events is not None and fired >= max_events:
@@ -105,6 +233,10 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            if prof is not None:
+                prof.run_seconds += perf_counter() - run_started
+                if _PROFILE_SINK is not None:
+                    _PROFILE_SINK(prof)
 
     def stop(self) -> None:
         """Stop :meth:`run` after the currently firing event returns."""

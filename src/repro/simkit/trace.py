@@ -61,14 +61,40 @@ class TimeWeightedValue:
         """Step the signal by ``delta``."""
         self.set(self._value + delta)
 
-    def mean(self) -> float:
-        """Time-weighted mean since construction (0 if no time has passed)."""
-        now = self.sim.now
-        duration = now - self._t0
+    def mean(self, until: float | None = None) -> float:
+        """Time-weighted mean over the observation window.
+
+        The window runs from construction (or the last :meth:`reset`) to
+        ``until``, defaulting to the current simulation time.  ``until``
+        must not precede the last recorded change — the signal's history
+        before that point has already been folded into the integral.
+        """
+        if until is None:
+            until = self.sim.now
+        if until < self._last_change:
+            raise ValueError(
+                f"until={until} precedes the last change at {self._last_change}; "
+                "windowed means can only extend forward"
+            )
+        duration = until - self._t0
         if duration <= 0:
             return self._value
-        integral = self._integral + self._value * (now - self._last_change)
+        integral = self._integral + self._value * (until - self._last_change)
         return integral / duration
+
+    def reset(self, value: float | None = None) -> None:
+        """Restart the observation window at the current simulation time.
+
+        The signal level carries over unless ``value`` is given, so windowed
+        utilization measurements no longer require rebuilding the object
+        mid-run.
+        """
+        now = self.sim.now
+        if value is not None:
+            self._value = float(value)
+        self._integral = 0.0
+        self._last_change = now
+        self._t0 = now
 
 
 @dataclass(frozen=True)
@@ -92,15 +118,37 @@ class TraceRecorder:
         self.enabled = enabled
         self._entries: list[TraceEntry] = []
         self._hooks: list[Callable[[TraceEntry], None]] = []
+        self._disabled: set[str] = set()
 
     def record(self, category: str, **fields: Any) -> None:
         """Record one event at the current simulation time."""
-        if not self.enabled:
+        if not self.enabled or category in self._disabled:
             return
         entry = TraceEntry(time=self.sim.now, category=category, fields=fields)
         self._entries.append(entry)
         for hook in self._hooks:
             hook(entry)
+
+    # ----------------------------------------------------------- hot-path gate
+    def wants(self, category: str) -> bool:
+        """True iff a :meth:`record` for this category would be kept.
+
+        Hot paths check this before assembling expensive field values, so a
+        disabled category costs one set lookup instead of a dict build.
+        """
+        return self.enabled and category not in self._disabled
+
+    def disable_category(self, *categories: str) -> None:
+        """Silently drop future entries in these categories."""
+        self._disabled.update(categories)
+
+    def enable_category(self, *categories: str) -> None:
+        """Re-admit previously disabled categories."""
+        self._disabled.difference_update(categories)
+
+    def set_category_filter(self, disabled: "set[str] | list[str] | tuple[str, ...]") -> None:
+        """Replace the disabled-category set wholesale."""
+        self._disabled = set(disabled)
 
     def add_hook(self, hook: Callable[[TraceEntry], None]) -> None:
         """Invoke ``hook`` synchronously for every future entry."""

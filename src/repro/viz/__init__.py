@@ -7,9 +7,16 @@ terminal or in EXPERIMENTS.md.
 """
 
 from repro.viz.textplot import line_chart
-from repro.viz.tables import render_table
+from repro.viz.tables import metrics_summary_table, render_table
 from repro.viz.csvout import write_csv
 from repro.viz.svg import svg_line_chart
 from repro.viz.timeline import render_timeline
 
-__all__ = ["line_chart", "render_table", "write_csv", "svg_line_chart", "render_timeline"]
+__all__ = [
+    "line_chart",
+    "render_table",
+    "metrics_summary_table",
+    "write_csv",
+    "svg_line_chart",
+    "render_timeline",
+]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 
 def _cell(value: Any) -> str:
@@ -42,3 +42,53 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: s
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt_row(r) for r in str_rows)
     return "\n".join(lines)
+
+
+def _label_suffix(row: Mapping[str, Any]) -> str:
+    labels = row.get("labels") or {}
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def metrics_summary_table(snapshot: Sequence[Mapping[str, Any]], title: str = "metrics") -> str:
+    """Render a metrics-registry snapshot as aligned text tables.
+
+    ``snapshot`` is the list of plain dicts produced by
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or read back from a
+    ``*.metrics.jsonl`` artifact).  Counters and gauges share one table;
+    histograms get a second with count/mean/p50/p99/min/max columns.
+    """
+    scalars: list[list[Any]] = []
+    hists: list[list[Any]] = []
+    for row in snapshot:
+        name = str(row.get("name", "?")) + _label_suffix(row)
+        kind = row.get("kind", "?")
+        if kind == "histogram":
+            hists.append(
+                [
+                    name,
+                    row.get("count", 0),
+                    row.get("mean", 0.0),
+                    row.get("p50", 0.0),
+                    row.get("p99", 0.0),
+                    row.get("min") if row.get("min") is not None else "-",
+                    row.get("max") if row.get("max") is not None else "-",
+                ]
+            )
+        else:
+            scalars.append([name, kind, row.get("value", 0.0)])
+    parts = []
+    if scalars:
+        parts.append(render_table(["metric", "kind", "value"], scalars, title=title))
+    if hists:
+        parts.append(
+            render_table(
+                ["histogram", "count", "mean", "p50", "p99", "min", "max"],
+                hists,
+                title=f"{title}: histograms",
+            )
+        )
+    if not parts:
+        return f"{title}: (empty)"
+    return "\n\n".join(parts)

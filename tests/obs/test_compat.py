@@ -1,0 +1,45 @@
+"""The legacy-primitive shim must warn but hand back the unchanged classes."""
+
+import warnings
+
+import pytest
+
+from repro.simkit import trace as simkit_trace
+
+
+def test_counter_shim_warns_and_returns_original():
+    from repro.obs import compat
+
+    with pytest.warns(DeprecationWarning, match="MetricsRegistry.counter"):
+        cls = compat.Counter
+    assert cls is simkit_trace.Counter
+
+
+def test_time_weighted_shim_warns_and_returns_original():
+    from repro.obs import compat
+
+    with pytest.warns(DeprecationWarning, match="deprecation shim"):
+        cls = compat.TimeWeightedValue
+    assert cls is simkit_trace.TimeWeightedValue
+
+
+def test_direct_simkit_import_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        counter = simkit_trace.Counter("ok")
+        counter.add()
+    assert counter.value == 1
+
+
+def test_unknown_attribute_raises():
+    from repro.obs import compat
+
+    with pytest.raises(AttributeError):
+        compat.NoSuchThing
+
+
+def test_shim_names_listed_in_dir():
+    from repro.obs import compat
+
+    names = dir(compat)
+    assert "Counter" in names and "TimeWeightedValue" in names

@@ -116,3 +116,84 @@ def test_cancel_scheduled_event():
 
 def test_step_returns_false_on_empty():
     assert Simulator().step() is False
+
+
+def test_max_events_exhaustion_does_not_advance_clock_to_until():
+    # when the event budget runs out first, the clock must stay at the last
+    # fired event, not jump to `until`
+    sim = Simulator()
+    for i in range(1, 11):
+        sim.schedule(float(i), lambda: None)
+    sim.run(until=100.0, max_events=3)
+    assert sim.now == 3.0
+    assert sim.pending == 7
+
+
+def test_until_wins_when_budget_is_larger():
+    sim = Simulator()
+    fired = []
+    for i in range(1, 11):
+        sim.schedule(float(i), lambda i=i: fired.append(i))
+    sim.run(until=4.5, max_events=100)
+    assert fired == [1, 2, 3, 4]
+    assert sim.now == 4.5
+
+
+def test_resume_after_max_events_continues_cleanly():
+    sim = Simulator()
+    fired = []
+    for i in range(1, 6):
+        sim.schedule(float(i), lambda i=i: fired.append(i))
+    sim.run(until=10.0, max_events=2)
+    assert fired == [1, 2] and sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == [1, 2, 3, 4, 5]
+    assert sim.now == 10.0
+
+
+def test_stop_in_callback_does_not_advance_clock_to_until():
+    # stop() halts before the next event fires AND before the final
+    # clock-advance to `until`
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run(until=50.0)
+    assert fired == [1]
+    assert sim.now == 1.0
+    assert sim.pending == 1
+
+
+def test_profiling_accounts_events_and_categories():
+    sim = Simulator()
+    prof = sim.enable_profiling()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert prof.events == 2
+    assert prof.run_seconds > 0
+    assert prof.events_per_second() > 0
+    # both lambdas defined here -> one category named after this module
+    assert sum(n for n, _secs in prof.by_category.values()) == 2
+
+
+def test_profile_drain_deltas_are_incremental():
+    sim = Simulator()
+    prof = sim.enable_profiling()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    first = prof.drain_deltas()
+    assert first["events"] == 1
+    assert prof.drain_deltas()["events"] == 0
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert prof.drain_deltas()["events"] == 1
+
+
+def test_disable_profiling_discards_profile():
+    sim = Simulator()
+    sim.enable_profiling()
+    sim.disable_profiling()
+    assert sim.profile is None
+    sim.schedule(1.0, lambda: None)
+    sim.run()  # must not crash without a profile

@@ -74,6 +74,75 @@ def test_trace_disabled_records_nothing():
     assert len(tr) == 0
 
 
+def test_time_weighted_mean_with_until_window():
+    sim = Simulator()
+    tw = TimeWeightedValue(sim, initial=2.0)
+    sim.schedule(4.0, lambda: tw.set(0.0))
+    sim.run()  # now == 4.0
+    # extend the window beyond the last change: 2 for [0,4), 0 for [4,8)
+    assert tw.mean(until=8.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError, match="precedes the last change"):
+        tw.mean(until=2.0)
+
+
+def test_time_weighted_reset_restarts_window():
+    sim = Simulator()
+    tw = TimeWeightedValue(sim, initial=10.0)
+    sim.schedule(5.0, lambda: tw.reset())
+    sim.run()
+    # the pre-reset history is gone; the level carries over
+    assert tw.value == 10.0
+    assert tw.mean(until=7.0) == pytest.approx(10.0)
+
+
+def test_time_weighted_reset_with_new_value():
+    sim = Simulator()
+    tw = TimeWeightedValue(sim, initial=10.0)
+    sim.schedule(5.0, lambda: tw.reset(3.0))
+    sim.run()
+    assert tw.value == 3.0
+    assert tw.mean(until=6.0) == pytest.approx(3.0)
+
+
+def test_trace_category_disable_enable():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    tr.disable_category("drop", "noise")
+    assert not tr.wants("drop")
+    assert tr.wants("fault")
+    tr.record("drop", n=1)
+    tr.record("fault", n=2)
+    assert tr.count("drop") == 0 and tr.count("fault") == 1
+    tr.enable_category("drop")
+    tr.record("drop", n=3)
+    assert tr.count("drop") == 1
+
+
+def test_trace_set_category_filter_replaces_set():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    tr.disable_category("a")
+    tr.set_category_filter({"b"})
+    assert tr.wants("a") and not tr.wants("b")
+
+
+def test_trace_wants_false_when_disabled_globally():
+    sim = Simulator()
+    tr = TraceRecorder(sim, enabled=False)
+    assert not tr.wants("anything")
+
+
+def test_trace_disabled_category_skips_hooks():
+    sim = Simulator()
+    tr = TraceRecorder(sim)
+    seen = []
+    tr.add_hook(lambda e: seen.append(e.category))
+    tr.disable_category("quiet")
+    tr.record("quiet")
+    tr.record("loud")
+    assert seen == ["loud"]
+
+
 def test_trace_hooks_fire():
     sim = Simulator()
     tr = TraceRecorder(sim)
