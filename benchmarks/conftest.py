@@ -7,9 +7,31 @@ with a single round so the whole harness stays in the minutes range;
 analytic benchmarks let pytest-benchmark calibrate normally.
 
 Run:  pytest benchmarks/ --benchmark-only
+
+Every run also persists a ``BENCH_<module>.json`` telemetry snapshot per
+benchmark module (see :mod:`repro.obs.bench`), giving perf PRs a committed
+baseline to diff against.  ``BENCH_TELEMETRY_DIR`` redirects the snapshots;
+set it to an empty string to disable.
 """
 
+import os
+from pathlib import Path
+
 import pytest
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write bench telemetry snapshots next to the benchmark modules."""
+    out_dir = os.environ.get("BENCH_TELEMETRY_DIR", str(Path(__file__).parent))
+    if not out_dir:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    from repro.obs.bench import write_bench_snapshots
+
+    for path in write_bench_snapshots(bench_session.benchmarks, out_dir):
+        print(f"bench telemetry -> {path}")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -18,6 +18,8 @@ def _banner() -> int:
     print("  drs-sim SPEC.json [--compare]        run declarative scenarios")
     print("  drs-analyze report N                 survivability calculator")
     print("  python -m repro obs PATH...          inspect run manifests/metrics/traces")
+    print("  python -m repro obs export-trace SRC Chrome/Perfetto trace from a run or spec")
+    print("  python -m repro obs postmortem SRC   per-incident failover critical paths")
     print("docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/")
     return 0
 

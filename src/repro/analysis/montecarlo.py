@@ -14,6 +14,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.obs.profiler import publish_mc_throughput
+from repro.obs.progress import heartbeat
 
 
 def sample_failure_matrix(n: int, f: int, iterations: int, rng: np.random.Generator) -> np.ndarray:
@@ -84,6 +85,9 @@ def simulate_success_probability(
         failed = sample_failure_matrix(n, f, size, rng)
         good += int(pair_connected_vec(failed, two_hop=two_hop).sum())
         remaining -= size
+        hb = heartbeat()
+        if hb is not None:  # one global lookup per ≥200k-iteration batch
+            hb.add(size)
     # One timing pair + registry update per call (not per batch): the
     # instrumentation cost is amortized over the whole iteration budget.
     publish_mc_throughput(iterations, perf_counter() - started)

@@ -17,6 +17,7 @@ from repro.drs.monitor import LinkMonitor
 from repro.drs.state import PeerTable
 from repro.netsim.topology import Cluster
 from repro.obs.metrics import MetricsRegistry, resolve_registry
+from repro.obs.spans import Span, span_log
 from repro.protocols.stack import HostStack
 from repro.simkit import Process, Simulator, TraceRecorder
 
@@ -37,12 +38,14 @@ class DrsDaemon:
         self.stack = stack
         self.config = config
         self.table = PeerTable(owner=stack.node.node_id, peers=peers, networks=stack.node.networks)
-        self.monitor = LinkMonitor(sim, stack.icmp, self.table, config, metrics=metrics)
+        self.monitor = LinkMonitor(sim, stack.icmp, self.table, config, metrics=metrics, trace=trace)
         self.failover = FailoverEngine(sim, stack, self.table, config, trace=trace, metrics=metrics)
         # Triggered updates (notify_peers): notifications prompt an immediate
         # out-of-band recheck of the announced link.
         self.failover.recheck_link = lambda peer, net: self.monitor.immediate_recheck(peer, net, lambda up: None)
         self._path_check_proc: Process | None = None
+        self._spans = span_log(trace) if trace is not None else None
+        self._life_span: Span | None = None
 
     @property
     def node_id(self) -> int:
@@ -54,6 +57,8 @@ class DrsDaemon:
         self.monitor.start()
         if self._path_check_proc is None or self._path_check_proc.finished:
             self._path_check_proc = Process(self.sim, self._path_check_loop(), name=f"drs{self.node_id}.pathcheck")
+        if self._spans is not None and self._spans.wants() and self._life_span is None:
+            self._life_span = self._spans.begin(f"daemon node{self.node_id}", "daemon", node=self.node_id)
 
     def stop(self) -> None:
         """Stop periodic activity (control-plane handlers stay registered)."""
@@ -61,6 +66,9 @@ class DrsDaemon:
         if self._path_check_proc is not None:
             self._path_check_proc.kill()
             self._path_check_proc = None
+        if self._life_span is not None and self._spans is not None:
+            self._spans.end(self._life_span)
+            self._life_span = None
 
     @property
     def running(self) -> bool:

@@ -43,6 +43,8 @@ from repro.drs.messages import (
 from repro.drs.state import LinkState, PeerLink, PeerTable
 from repro.netsim.addresses import NetworkId, NodeId
 from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry, resolve_registry
+from repro.obs.progress import heartbeat
+from repro.obs.spans import Span, span_log
 from repro.protocols.icmp import PingResult, PingStatus
 from repro.protocols.routing import Route, RouteSource
 from repro.protocols.stack import HostStack
@@ -62,6 +64,7 @@ class _Discovery:
     offers: list[RouteOffer] = field(default_factory=list)
     timeout_event: object | None = None
     settled: bool = False
+    span: Span | None = None
 
 
 class FailoverEngine:
@@ -81,6 +84,9 @@ class FailoverEngine:
         self.table = table
         self.config = config
         self.trace = trace
+        self._spans = span_log(trace) if trace is not None else None
+        #: open detection→repair spans, one per peer being repaired
+        self._failover_spans: dict[NodeId, Span] = {}
         self._discoveries: dict[int, _Discovery] = {}
         #: peers currently carried by a two-hop repair route: peer -> router
         self.repaired_via: dict[NodeId, NodeId] = {}
@@ -111,6 +117,31 @@ class FailoverEngine:
         """The node this engine runs on."""
         return self.table.owner
 
+    # ----------------------------------------------------------------- spans
+    def _span_begin_failover(
+        self, peer: NodeId, detected_at: float, network: NetworkId | None = None, trigger: str = "probe-loss"
+    ) -> None:
+        # The span start is detected_at, so its duration is exactly the
+        # value observed into drs_failover_latency_seconds at close.
+        spans = self._spans
+        if spans is None or not spans.wants() or peer in self._failover_spans:
+            return
+        parent = spans.find_incident(node=self.owner, peer=peer, network=network)
+        self._failover_spans[peer] = spans.begin(
+            f"failover node{self.owner}->peer{peer}",
+            "failover",
+            node=self.owner,
+            parent=parent,
+            start=detected_at,
+            peer=peer,
+            trigger=trigger,
+        )
+
+    def _span_end_failover(self, peer: NodeId, outcome: str, **attrs) -> None:
+        span = self._failover_spans.pop(peer, None)
+        if span is not None:
+            self._spans.end(span, outcome=outcome, **attrs)
+
     # ------------------------------------------------------------ transitions
     def _on_link_transition(self, link: PeerLink, old: LinkState, new: LinkState) -> None:
         if new is LinkState.DOWN:
@@ -130,6 +161,7 @@ class FailoverEngine:
                 self.stack.table.withdraw(target, RouteSource.DRS)
                 if self.trace is not None:
                     self.trace.record("drs-leg1-lost", node=self.owner, peer=target, router=peer)
+                self._span_begin_failover(target, self.sim.now, network=link.network, trigger="leg1-lost")
                 self._repair(target, self.sim.now)
         active = self.stack.table.lookup(peer)
         route_broken = (
@@ -142,6 +174,7 @@ class FailoverEngine:
         detected_at = self.sim.now
         if self.trace is not None:
             self.trace.record("drs-detect", node=self.owner, peer=peer, network=link.network)
+        self._span_begin_failover(peer, detected_at, network=link.network)
         if self.config.notify_peers:
             self._notify_link_down(peer, link.network)
         self._repair(peer, detected_at)
@@ -192,6 +225,7 @@ class FailoverEngine:
         if active.network != link.network and not self.table.is_up(peer, active.network):
             # The active direct route rides a link still believed down (e.g.
             # discovery failed during a total outage); move to the healed one.
+            self._span_begin_failover(peer, self.sim.now, network=link.network, trigger="link-up")
             self._install_direct(peer, link.network, self.sim.now)
 
     # ----------------------------------------------------------- direct swap
@@ -205,6 +239,16 @@ class FailoverEngine:
                 )
             if self.trace is not None:
                 self.trace.record("drs-restore", node=self.owner, peer=peer, network=network)
+                if self._spans.wants():
+                    self._spans.closed(
+                        f"restore node{self.owner}->peer{peer}",
+                        "restore",
+                        start=self.sim.now,
+                        node=self.owner,
+                        parent=self._failover_spans.get(peer),
+                        peer=peer,
+                        network=network,
+                    )
             return
         self.stack.table.install(
             Route(dst=peer, network=network, next_hop=peer, source=RouteSource.DRS, installed_at=self.sim.now)
@@ -214,6 +258,10 @@ class FailoverEngine:
         self.repairs.add()
         self._m_repairs.add()
         self._m_latency.observe(self.sim.now - detected_at)
+        self._span_end_failover(peer, "direct-swap", network=network)
+        hb = heartbeat()
+        if hb is not None:
+            hb.add(0, repairs=1)
         if self.trace is not None:
             self.trace.record(
                 "drs-repair",
@@ -241,6 +289,18 @@ class FailoverEngine:
         self._discoveries[request_id] = disc
         self.discoveries_started.add()
         self._m_discoveries.add()
+        # Path-check retries and triggered rechecks reach here without an
+        # open failover span; open one so the episode is still attributed.
+        self._span_begin_failover(target, detected_at, trigger="discovery")
+        if self._spans is not None and self._spans.wants():
+            disc.span = self._spans.begin(
+                f"discovery req{request_id}",
+                "discovery",
+                node=self.owner,
+                parent=self._failover_spans.get(target),
+                target=target,
+                request_id=request_id,
+            )
         request = DiscoveryRequest(origin=self.owner, target=target, request_id=request_id)
         sent_any = False
         fanout = 0
@@ -274,6 +334,12 @@ class FailoverEngine:
         self.failed_repairs.add()
         self._m_failed.add()
         self.unreachable.add(disc.target)
+        if disc.span is not None:
+            self._spans.end(disc.span, outcome="no-route", offers=len(disc.offers))
+        self._span_end_failover(disc.target, "unreachable")
+        hb = heartbeat()
+        if hb is not None:
+            hb.add(0, failed_repairs=1)
         if self.trace is not None:
             self.trace.record("drs-unreachable", node=self.owner, peer=disc.target)
 
@@ -286,6 +352,8 @@ class FailoverEngine:
             # directly, so the arrival network works; restore direct.
             disc.settled = True
             self._discoveries.pop(disc.request_id, None)
+            if disc.span is not None:
+                self._spans.end(disc.span, outcome="target-answered", offers=len(disc.offers))
             self._install_direct(disc.target, offer.leg2_network, disc.failure_detected_at)
             self.table.record_success(disc.target, offer.leg2_network, self.sim.now)
             return
@@ -304,6 +372,8 @@ class FailoverEngine:
     def _install_via(self, disc: _Discovery, offer: RouteOffer) -> None:
         disc.settled = True
         self._discoveries.pop(disc.request_id, None)
+        if disc.span is not None:
+            self._spans.end(disc.span, outcome="offer", router=offer.router, offers=len(disc.offers))
         # First leg: whichever network we can still reach the router on.
         router_nets = self.table.up_networks_to(offer.router)
         leg1 = router_nets[0] if router_nets else self.stack.node.networks[0]
@@ -322,6 +392,10 @@ class FailoverEngine:
         self.repairs.add()
         self._m_repairs.add()
         self._m_latency.observe(self.sim.now - disc.failure_detected_at)
+        self._span_end_failover(disc.target, "two-hop", router=offer.router, leg1_network=leg1)
+        hb = heartbeat()
+        if hb is not None:
+            hb.add(0, repairs=1)
         if self.trace is not None:
             self.trace.record(
                 "drs-repair",

@@ -14,8 +14,9 @@ from typing import Callable
 from repro.drs.config import DrsConfig
 from repro.drs.state import PeerTable
 from repro.obs.metrics import MetricsRegistry, resolve_registry
+from repro.obs.spans import span_log
 from repro.protocols.icmp import IcmpService, PingResult, PingStatus
-from repro.simkit import Counter, Process, Simulator
+from repro.simkit import Counter, Process, Simulator, TraceRecorder
 
 
 class LinkMonitor:
@@ -28,11 +29,13 @@ class LinkMonitor:
         table: PeerTable,
         config: DrsConfig,
         metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
     ) -> None:
         self.sim = sim
         self.icmp = icmp
         self.table = table
         self.config = config
+        self._spans = span_log(trace) if trace is not None else None
         self.probes_sent = Counter(f"drs{table.owner}.probes")
         self.probe_bytes = Counter(f"drs{table.owner}.probe_bytes")
         registry = resolve_registry(metrics)
@@ -102,7 +105,26 @@ class LinkMonitor:
             # probe_bytes here tracks this daemon's request-side load.)
             self.table.record_success(peer, network, self.sim.now)
         else:
+            self._span_probe_loss(peer, network, result.status.value)
             self.table.record_failure(peer, network, self.sim.now, self.config.probe_retries)
+
+    def _span_probe_loss(self, peer: int, network: int, status: str) -> None:
+        # Each lost probe becomes a child span of the open incident it is
+        # (most likely) evidence of, spanning send time to timeout.
+        spans = self._spans
+        if spans is None or not spans.wants():
+            return
+        link = self.table.link(peer, network)
+        spans.closed(
+            f"probe-loss node{self.table.owner}->peer{peer}.{network}",
+            "probe-loss",
+            start=link.last_probe_at if link.last_probe_at is not None else self.sim.now,
+            node=self.table.owner,
+            parent=spans.find_incident(node=self.table.owner, peer=peer, network=network),
+            peer=peer,
+            network=network,
+            status=status,
+        )
 
     # ------------------------------------------------------------ diagnostics
     def immediate_recheck(self, peer: int, network: int, callback: Callable[[bool], None]) -> None:
@@ -118,6 +140,7 @@ class LinkMonitor:
             if up:
                 self.table.record_success(peer, network, self.sim.now)
             else:
+                self._span_probe_loss(peer, network, result.status.value)
                 self.table.record_failure(peer, network, self.sim.now, threshold=1)
             callback(up)
 

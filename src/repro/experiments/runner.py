@@ -29,6 +29,7 @@ from repro.obs import (
     use_registry,
     write_metrics_files,
 )
+from repro.obs.progress import ProgressReporter, set_heartbeat
 
 from repro.experiments import (
     ablations,
@@ -102,6 +103,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip per-experiment manifest + metrics snapshot artifacts",
     )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="progress heartbeat interval on stderr (0 disables; default 10)",
+    )
     args = parser.parse_args(argv)
 
     registry = _registry(args.quick)
@@ -124,8 +132,13 @@ def main(argv: list[str] | None = None) -> int:
         started = time.perf_counter()
         print(f"[drs-experiments] running {name} ...", flush=True)
         metrics = ensure_core_metrics(MetricsRegistry())
-        with use_registry(metrics):
-            result = registry[name]()
+        reporter = ProgressReporter(name, interval_s=args.heartbeat) if args.heartbeat > 0 else None
+        set_heartbeat(reporter)
+        try:
+            with use_registry(metrics):
+                result = registry[name]()
+        finally:
+            set_heartbeat(None)
         results.append(result)
         files = result.write(out_dir)
         elapsed = time.perf_counter() - started
@@ -137,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
                 config={"quick": args.quick, **result.meta},
                 wall_seconds=elapsed,
                 event_count=int(metrics.counter("sim_events_total").value),
+                heartbeat=reporter.summary() if reporter is not None else None,
             )
             manifest.write(out_dir / f"{name}.manifest.json")
             write_metrics_files(metrics, out_dir, name)

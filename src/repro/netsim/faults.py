@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 import numpy as np
 
 from repro.netsim.component import Component
+from repro.obs.progress import heartbeat
+from repro.obs.spans import span_log
 from repro.simkit import Process, Simulator, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -85,6 +87,7 @@ class FaultInjector:
     ) -> None:
         self.sim = sim
         self.trace = trace
+        self._spans = span_log(trace) if trace is not None else None
         self._by_name: dict[str, Component] = {}
         self._order: list[Component] = []
         for comp in components:
@@ -113,16 +116,25 @@ class FaultInjector:
 
     # -------------------------------------------------------------- immediate
     def fail(self, name: str) -> None:
-        """Fail a component now."""
+        """Fail a component now (opens the incident root span)."""
         comp = self.component(name)
-        if comp.fail() and self.trace is not None:
-            self.trace.record("fault", component=name, action="fail", kind=comp.kind.value)
+        if comp.fail():
+            hb = heartbeat()
+            if hb is not None:
+                hb.add(0, faults=1)
+            if self.trace is not None:
+                self.trace.record("fault", component=name, action="fail", kind=comp.kind.value)
+                if self._spans.wants():
+                    self._spans.incident_begin(name, kind=comp.kind.value)
 
     def repair(self, name: str) -> None:
-        """Repair a component now."""
+        """Repair a component now (closes its incident span, if open)."""
         comp = self.component(name)
-        if comp.repair() and self.trace is not None:
-            self.trace.record("fault", component=name, action="repair", kind=comp.kind.value)
+        if comp.repair():
+            if self.trace is not None:
+                self.trace.record("fault", component=name, action="repair", kind=comp.kind.value)
+                if self._spans.wants():
+                    self._spans.incident_end(name)
 
     def repair_all(self) -> None:
         """Bring every managed component back up."""

@@ -11,7 +11,17 @@ into:
   trace-JSONL writers, emitted next to every experiment/scenario result.
 * :mod:`repro.obs.profiler` — simulator event-loop accounting and Monte
   Carlo throughput publication.
-* :mod:`repro.obs.cli` — the ``repro obs`` pretty-printer.
+* :mod:`repro.obs.spans` — causal spans over the trace recorder: incident
+  roots from the fault injector, failover/discovery/probe children from the
+  daemons, Chrome trace-event export for Perfetto.
+* :mod:`repro.obs.postmortem` — per-incident detection→repair critical
+  paths scored against the TCP-retransmit deadline budget.
+* :mod:`repro.obs.progress` — heartbeat reporter for long sweeps
+  (trials/sec, ETA, incident counts on stderr + run manifests).
+* :mod:`repro.obs.bench` — ``BENCH_*.json`` snapshot writer for the
+  pytest-benchmark suite.
+* :mod:`repro.obs.cli` — the ``repro obs`` pretty-printer plus the
+  ``export-trace`` and ``postmortem`` verbs.
 * :mod:`repro.obs.compat` — deprecation shims for the legacy primitives.
 """
 
@@ -33,11 +43,29 @@ from repro.obs.metrics import (
     resolve_registry,
     use_registry,
 )
+from repro.obs.bench import load_bench_snapshot, write_bench_snapshots
+from repro.obs.postmortem import (
+    IncidentReport,
+    build_postmortems,
+    render_postmortems,
+    summarize_postmortems,
+)
 from repro.obs.profiler import (
     install_profiling,
     publish_mc_throughput,
     publish_profile,
     uninstall_profiling,
+)
+from repro.obs.progress import ProgressReporter, heartbeat, set_heartbeat
+from repro.obs.spans import (
+    SPAN_CATEGORY,
+    Span,
+    SpanLog,
+    span_log,
+    spans_from_entries,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
 )
 
 __all__ = [
@@ -59,4 +87,21 @@ __all__ = [
     "uninstall_profiling",
     "publish_profile",
     "publish_mc_throughput",
+    "SPAN_CATEGORY",
+    "Span",
+    "SpanLog",
+    "span_log",
+    "spans_from_entries",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "IncidentReport",
+    "build_postmortems",
+    "render_postmortems",
+    "summarize_postmortems",
+    "ProgressReporter",
+    "set_heartbeat",
+    "heartbeat",
+    "write_bench_snapshots",
+    "load_bench_snapshot",
 ]

@@ -1,0 +1,86 @@
+"""Bench telemetry: persist pytest-benchmark results as ``BENCH_*.json``.
+
+``benchmarks/`` guards the hot paths, but until now its numbers evaporated
+with the terminal: there was no committed trajectory to compare a perf PR
+against.  The hook in ``benchmarks/conftest.py`` calls
+:func:`write_bench_snapshots` at session end, writing one
+``BENCH_<module>.json`` per benchmark module with min/mean/max/stddev/ops
+per test plus environment provenance.  Committing a snapshot after a perf
+change gives the next PR a baseline to diff (`git diff` on the JSON is the
+whole comparison tool).
+
+Set ``BENCH_TELEMETRY_DIR`` to redirect the snapshots (e.g. to a scratch
+directory in CI); set it to an empty string to disable writing entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+BENCH_SCHEMA_VERSION = 1
+
+#: stat fields copied from pytest-benchmark's Stats object when present
+STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "iqr", "ops", "rounds", "total")
+
+
+def _bench_row(bench: Any) -> dict[str, Any]:
+    """Extract one benchmark's identity + stats, tolerant of API drift."""
+    row: dict[str, Any] = {
+        "name": getattr(bench, "name", "?"),
+        "fullname": getattr(bench, "fullname", getattr(bench, "name", "?")),
+        "group": getattr(bench, "group", None),
+    }
+    stats = getattr(bench, "stats", None)
+    # pytest-benchmark nests the Stats object under Metadata.stats
+    inner = getattr(stats, "stats", stats)
+    for field in STAT_FIELDS:
+        value = getattr(inner, field, None)
+        if isinstance(value, (int, float)):
+            row[field] = float(value)
+    return row
+
+
+def _module_of(fullname: str) -> str:
+    """``benchmarks/bench_x.py::test_y`` -> ``bench_x``."""
+    file_part = fullname.split("::", 1)[0]
+    return Path(file_part).stem or "bench"
+
+
+def write_bench_snapshots(benchmarks: Iterable[Any], out_dir: str | Path) -> list[Path]:
+    """Write one ``BENCH_<module>.json`` per benchmark module; returns paths.
+
+    Rows are sorted by test name so reruns diff cleanly; the volatile parts
+    (timings, timestamp) are exactly what a perf PR wants to see change.
+    """
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for bench in benchmarks:
+        row = _bench_row(bench)
+        groups.setdefault(_module_of(row["fullname"]), []).append(row)
+    out_dir = Path(out_dir)
+    paths: list[Path] = []
+    for module, rows in sorted(groups.items()):
+        doc = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "module": module,
+            "created_unix": time.time(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "results": sorted(rows, key=lambda r: str(r["fullname"])),
+        }
+        path = out_dir / f"BENCH_{module}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+def load_bench_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read a snapshot back (schema-checked)."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or "results" not in doc:
+        raise ValueError(f"{path}: not a bench telemetry snapshot")
+    return doc

@@ -1,14 +1,25 @@
-"""``repro obs``: pretty-print observability artifacts.
+"""``repro obs``: inspect observability artifacts.
 
 Usage::
 
     python -m repro obs results/                 # everything in a directory
     python -m repro obs results/figure2.manifest.json
     python -m repro obs /tmp/r/nic.metrics.jsonl /tmp/r/nic.trace.jsonl
+    python -m repro obs export-trace /tmp/r/nic-failure-drs.trace.jsonl
+    python -m repro obs postmortem examples/scenarios/voicemail_hub_outage.json
 
-Dispatches on artifact suffix: ``*.manifest.json`` (run provenance),
-``*.metrics.jsonl`` / ``*.metrics.prom`` (registry snapshots), and
-``*.trace.jsonl`` (event traces, summarized by category).
+The bare form dispatches on artifact suffix: ``*.manifest.json`` (run
+provenance), ``*.metrics.jsonl`` / ``*.metrics.prom`` (registry snapshots),
+and ``*.trace.jsonl`` (event traces, summarized by category).  Two verbs
+consume the span layer:
+
+* ``export-trace`` — convert a trace (or run a scenario spec) to Chrome
+  trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+* ``postmortem`` — reconstruct each failure's detection→repair critical
+  path and score it against the TCP-retransmit deadline budget.
+
+Both accept either a ``*.trace.jsonl`` artifact or a scenario spec JSON
+(the scenario is run in-process, seeded from the spec).
 """
 
 from __future__ import annotations
@@ -103,8 +114,79 @@ def _expand(paths: list[str]) -> list[Path]:
     return expanded
 
 
+def _load_spans(source: str):
+    """Spans + instant rows from a trace artifact or a scenario spec.
+
+    A ``*.trace.jsonl`` path is read back offline; any other path is taken
+    as a scenario spec JSON, which is run in-process (seeded from the spec)
+    and mined for its live span log.
+    """
+    from repro.obs.spans import load_trace_jsonl, span_log, spans_from_entries
+
+    if source.endswith(".trace.jsonl"):
+        rows = load_trace_jsonl(source)
+        return spans_from_entries(rows), rows
+    from repro.scenario.run import run_scenario
+    from repro.scenario.spec import load_scenario
+
+    report = run_scenario(load_scenario(source))
+    if report.trace is None:
+        raise ValueError(f"scenario {source} ran without a trace recorder")
+    return list(span_log(report.trace).spans), report.trace.entries()
+
+
+def _cmd_export_trace(argv: list[str]) -> int:
+    from repro.obs.spans import write_chrome_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs export-trace",
+        description="Export spans as Chrome trace-event JSON (Perfetto / chrome://tracing).",
+    )
+    parser.add_argument("source", help="a *.trace.jsonl artifact or a scenario spec JSON")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="output file (default: <source stem>.spans.json)")
+    args = parser.parse_args(argv)
+
+    spans, instants = _load_spans(args.source)
+    if not spans:
+        print(f"error: {args.source}: no spans recorded", file=sys.stderr)
+        return 1
+    out = Path(args.out) if args.out else Path(
+        args.source.removesuffix(".trace.jsonl").removesuffix(".json") + ".spans.json"
+    )
+    write_chrome_trace(out, spans, instants)
+    print(f"wrote {len(spans)} span(s) -> {out}")
+    return 0
+
+
+def _cmd_postmortem(argv: list[str]) -> int:
+    from repro.obs.postmortem import build_postmortems, render_postmortems
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs postmortem",
+        description="Per-incident detection->repair critical paths vs the TCP-retransmit deadline.",
+    )
+    parser.add_argument("source", help="a *.trace.jsonl artifact or a scenario spec JSON")
+    parser.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="deadline budget in seconds (default: TCP initial RTO)")
+    parser.add_argument("--node", type=int, default=None, metavar="N",
+                        help="only report episodes observed by this node")
+    args = parser.parse_args(argv)
+
+    spans, _ = _load_spans(args.source)
+    reports = build_postmortems(spans, deadline_s=args.deadline, node=args.node)
+    print(render_postmortems(reports))
+    return 0 if all(not r.deadline_violated for r in reports) else 3
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "export-trace":
+        return _cmd_export_trace(argv[1:])
+    if argv and argv[0] == "postmortem":
+        return _cmd_postmortem(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro obs",
         description="Pretty-print run manifests, metrics snapshots, and trace dumps.",

@@ -1,0 +1,214 @@
+"""Failover post-mortems: phase-attributed critical paths per incident.
+
+The paper's headline claim is a deadline: DRS repairs routes within one TCP
+retransmission timeout, so applications never notice the failure.  The
+aggregate ``drs_failover_latency_seconds`` histogram says whether that held
+*on average*; a post-mortem says where one specific slow failover spent its
+budget.  Given the spans of a run (live from a :class:`~repro.obs.spans.SpanLog`
+or reconstructed from a ``*.trace.jsonl`` artifact), this module rebuilds,
+per repair, the critical path
+
+    fault → detection → [discovery-wait → discovery → install | direct-swap]
+
+attributes latency to each phase, and scores the fault→repair total against
+the TCP-retransmit deadline (``protocols.tcp.DEFAULT_INITIAL_RTO_S`` unless
+overridden), flagging deadline violations.
+
+The failover-phase sum equals the span's duration, which is by construction
+the same ``now - detected_at`` value the failover engine observes into the
+histogram — post-mortems and metrics cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.spans import Span
+
+
+def _default_deadline() -> float:
+    # Imported lazily: repro.obs must stay importable from the bottom of the
+    # stack (netsim), and protocols sits above netsim in the import order.
+    from repro.protocols.tcp import DEFAULT_INITIAL_RTO_S
+
+    return DEFAULT_INITIAL_RTO_S
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One attributed slice of a critical path."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Phase length in simulated seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class IncidentReport:
+    """The reconstructed critical path of one detection→repair episode."""
+
+    failover: Span
+    incident: Span | None
+    detection: Phase | None
+    phases: list[Phase] = field(default_factory=list)
+    deadline_s: float = field(default_factory=_default_deadline)
+
+    @property
+    def node(self) -> int | None:
+        """The observing daemon's node."""
+        return self.failover.node
+
+    @property
+    def peer(self) -> int | None:
+        """The peer whose route broke."""
+        peer = self.failover.attrs.get("peer")
+        return None if peer is None else int(peer)
+
+    @property
+    def outcome(self) -> str:
+        """How the episode ended: direct-swap, two-hop, or unreachable."""
+        return str(self.failover.attrs.get("outcome", "unknown"))
+
+    @property
+    def failover_latency_s(self) -> float:
+        """Detection to repair install — the histogram's observation."""
+        return sum(p.duration for p in self.phases)
+
+    @property
+    def total_s(self) -> float:
+        """Fault injection (when known) to repair install."""
+        start = self.incident.start if self.incident is not None else self.failover.start
+        return (self.failover.end or self.failover.start) - start
+
+    @property
+    def budget_consumed(self) -> float:
+        """Fraction of the TCP-retransmit deadline spent (1.0 = all of it)."""
+        return self.total_s / self.deadline_s if self.deadline_s > 0 else float("inf")
+
+    @property
+    def deadline_violated(self) -> bool:
+        """True when the app would have seen a retransmit before the repair."""
+        return self.outcome == "unreachable" or self.budget_consumed > 1.0
+
+
+def build_postmortems(
+    spans: Iterable[Span],
+    deadline_s: float | None = None,
+    node: int | None = None,
+) -> list[IncidentReport]:
+    """Reconstruct one report per closed failover span.
+
+    ``node`` restricts the reports to one observer daemon; ``deadline_s``
+    overrides the TCP-retransmit budget.
+    """
+    deadline = _default_deadline() if deadline_s is None else deadline_s
+    spans = list(spans)
+    by_id = {s.span_id: s for s in spans}
+    children: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+
+    reports: list[IncidentReport] = []
+    for span in spans:
+        if span.phase != "failover" or span.end is None:
+            continue
+        if node is not None and span.node != node:
+            continue
+        discovery = next(
+            (c for c in children.get(span.span_id, ()) if c.phase == "discovery" and c.end is not None),
+            None,
+        )
+        phases: list[Phase] = []
+        if discovery is not None:
+            if discovery.start > span.start:
+                phases.append(Phase("discovery-wait", span.start, discovery.start))
+            phases.append(Phase("discovery", discovery.start, discovery.end))
+            if span.end > discovery.end:
+                phases.append(Phase("install", discovery.end, span.end))
+        elif span.attrs.get("outcome") == "direct-swap":
+            phases.append(Phase("direct-swap", span.start, span.end))
+        else:
+            phases.append(Phase("failover", span.start, span.end))
+        incident = by_id.get(span.incident_id) if span.incident_id is not None else None
+        detection = (
+            Phase("detection", incident.start, span.start)
+            if incident is not None and span.start >= incident.start
+            else None
+        )
+        reports.append(
+            IncidentReport(
+                failover=span,
+                incident=incident,
+                detection=detection,
+                phases=phases,
+                deadline_s=deadline,
+            )
+        )
+    reports.sort(key=lambda r: (r.failover.start, r.failover.span_id))
+    return reports
+
+
+def render_postmortems(reports: list[IncidentReport]) -> str:
+    """Human-readable post-mortem: one phase table per incident episode."""
+    from repro.viz import render_table
+
+    if not reports:
+        return "postmortem: no failover episodes recorded (did the run inject faults with tracing on?)"
+    blocks: list[str] = []
+    for i, report in enumerate(reports, 1):
+        component = report.incident.attrs.get("component", "?") if report.incident else "?"
+        title = (
+            f"incident {i}/{len(reports)}: {component} — "
+            f"node{report.node}->peer{report.peer} ({report.outcome})"
+        )
+        rows: list[list] = []
+        if report.detection is not None:
+            rows.append(
+                ["detection", f"{report.detection.start:.6f}", f"{report.detection.end:.6f}",
+                 f"{report.detection.duration:.6f}", "-"]
+            )
+        failover_total = report.failover_latency_s
+        for phase in report.phases:
+            share = phase.duration / failover_total if failover_total > 0 else 0.0
+            rows.append(
+                [phase.name, f"{phase.start:.6f}", f"{phase.end:.6f}",
+                 f"{phase.duration:.6f}", f"{share:6.1%}"]
+            )
+        rows.append(["failover total", "", "", f"{failover_total:.6f}", "100.0%"])
+        verdict = "DEADLINE VIOLATED" if report.deadline_violated else "within deadline"
+        rows.append(
+            [f"fault->repair vs {report.deadline_s:g}s budget", "", "",
+             f"{report.total_s:.6f}", f"{report.budget_consumed:6.1%} ({verdict})"]
+        )
+        blocks.append(
+            render_table(["phase", "start (s)", "end (s)", "duration (s)", "share"], rows, title=title)
+        )
+    violated = sum(1 for r in reports if r.deadline_violated)
+    worst = max(reports, key=lambda r: r.budget_consumed)
+    blocks.append(
+        f"{len(reports)} episode(s), {violated} deadline violation(s); "
+        f"worst budget use {worst.budget_consumed:.1%} "
+        f"(node{worst.node}->peer{worst.peer} at t={worst.failover.start:.6f}s)"
+    )
+    return "\n\n".join(blocks)
+
+
+def summarize_postmortems(reports: list[IncidentReport]) -> dict:
+    """Aggregate stats (for run manifests and machine consumers)."""
+    if not reports:
+        return {"episodes": 0, "deadline_violations": 0}
+    return {
+        "episodes": len(reports),
+        "deadline_violations": sum(1 for r in reports if r.deadline_violated),
+        "deadline_s": reports[0].deadline_s,
+        "worst_budget_consumed": max(r.budget_consumed for r in reports),
+        "mean_failover_latency_s": sum(r.failover_latency_s for r in reports) / len(reports),
+        "max_failover_latency_s": max(r.failover_latency_s for r in reports),
+    }

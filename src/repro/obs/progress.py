@@ -1,0 +1,110 @@
+"""Live progress heartbeats for long sweeps.
+
+Long Monte-Carlo sweeps and full experiment regenerations run for minutes
+with no output between result tables.  A :class:`ProgressReporter` emits a
+heartbeat line to stderr on a wall-clock interval — trials/sec, ETA when a
+total is known, and running incident counts — and its :meth:`summary` dict
+is folded into the run manifest so the throughput of every run is on record.
+
+Deep hot loops publish through the module-level *current heartbeat* the same
+way metrics use the current registry: drivers install a reporter with
+:func:`set_heartbeat`, the Monte Carlo batch loop calls ``heartbeat()`` and
+pays one global lookup plus a ``None`` check when no reporter is installed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+
+class ProgressReporter:
+    """Interval-throttled trials/sec + ETA + incident-count reporter."""
+
+    def __init__(
+        self,
+        label: str,
+        total: int | None = None,
+        interval_s: float = 5.0,
+        stream: TextIO | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.label = label
+        self.total = total
+        self.interval_s = interval_s
+        self._stream = stream
+        self._clock = clock
+        self._started = clock()
+        self._last_emit = self._started
+        self.trials = 0
+        self.counts: dict[str, int] = {}
+        self.heartbeats = 0
+
+    # ------------------------------------------------------------------ input
+    def add(self, n: int = 1, **counts: int) -> None:
+        """Record ``n`` more trials (and named incident counts); maybe emit."""
+        self.trials += n
+        for key, value in counts.items():
+            self.counts[key] = self.counts.get(key, 0) + value
+        now = self._clock()
+        if now - self._last_emit >= self.interval_s:
+            self.emit(now=now)
+
+    # ----------------------------------------------------------------- output
+    def _format(self, elapsed: float, final: bool) -> str:
+        rate = self.trials / elapsed if elapsed > 0 else 0.0
+        progress = f"{self.trials}" if self.total is None else f"{self.trials}/{self.total}"
+        parts = [f"[{self.label}] {progress} trials", f"{rate:,.0f} trials/s"]
+        if not final and self.total is not None and rate > 0 and self.trials < self.total:
+            parts.append(f"ETA {(self.total - self.trials) / rate:,.0f}s")
+        if final:
+            parts.append(f"done in {elapsed:.1f}s")
+        if self.counts:
+            inner = " ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+            parts.append(f"incidents: {inner}")
+        return ", ".join(parts)
+
+    def emit(self, final: bool = False, now: float | None = None) -> str:
+        """Write one heartbeat line to the stream; returns the line."""
+        now = self._clock() if now is None else now
+        self._last_emit = now
+        self.heartbeats += 1
+        line = self._format(now - self._started, final)
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(line, file=stream, flush=True)
+        return line
+
+    def finish(self) -> dict:
+        """Emit the final line and return the manifest-ready summary."""
+        self.emit(final=True)
+        return self.summary()
+
+    def summary(self) -> dict:
+        """Machine-readable run summary (merged into run manifests)."""
+        elapsed = self._clock() - self._started
+        return {
+            "label": self.label,
+            "trials": self.trials,
+            "wall_seconds": elapsed,
+            "trials_per_second": self.trials / elapsed if elapsed > 0 else 0.0,
+            "heartbeats": self.heartbeats,
+            "counts": dict(self.counts),
+        }
+
+
+# ------------------------------------------------------------ current reporter
+_current: ProgressReporter | None = None
+
+
+def set_heartbeat(reporter: ProgressReporter | None) -> None:
+    """Install (or clear, with ``None``) the process-wide heartbeat."""
+    global _current
+    _current = reporter
+
+
+def heartbeat() -> ProgressReporter | None:
+    """The currently installed reporter, or ``None`` (the hot-loop check)."""
+    return _current

@@ -9,9 +9,10 @@ from typing import Callable
 
 from repro.netsim.addresses import NetworkId, NodeId
 from repro.obs.metrics import MetricsRegistry, resolve_registry
+from repro.obs.spans import span_log
 from repro.protocols.ip import NetworkLayer
 from repro.protocols.packet import ICMP_HEADER_BYTES, Packet
-from repro.simkit import Counter, Simulator
+from repro.simkit import Counter, Simulator, TraceRecorder
 
 _echo_ids = itertools.count(1)
 
@@ -81,10 +82,21 @@ class IcmpService:
 
     PROTOCOL = "icmp"
 
-    def __init__(self, sim: Simulator, net: NetworkLayer, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        net: NetworkLayer,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
         self.sim = sim
         self.net = net
-        # (ident, seq) -> (timeout event, callback, sent_at, network or None)
+        # Routed pings (path checks, reachability probes) get causal spans;
+        # direct link probes stay span-free — the monitor records the losses
+        # that matter and the per-probe hot path must stay cheap.
+        self._spans = span_log(trace) if trace is not None else None
+        # (ident, seq) -> (timeout event, callback, sent_at, network or None,
+        #                  dst_node, span or None)
         self._pending: dict[tuple[int, int], tuple] = {}
         self.requests_answered = Counter(f"icmp{net.node.node_id}.answered")
         self.replies_matched = Counter(f"icmp{net.node.node_id}.matched")
@@ -120,6 +132,14 @@ class IcmpService:
         ident = next(_echo_ids)
         seq = 1
         request = EchoRequest(ident=ident, seq=seq, data_bytes=data_bytes, direct=network is not None)
+        span = None
+        if network is None and self._spans is not None and self._spans.wants():
+            span = self._spans.begin(
+                f"ping node{self.net.node.node_id}->peer{dst_node}",
+                "probe",
+                node=self.net.node.node_id,
+                peer=dst_node,
+            )
         if network is None:
             sent = self.net.send(dst_node, self.PROTOCOL, request)
         else:
@@ -127,20 +147,24 @@ class IcmpService:
         if not sent:
             # The local NIC refused (or no route): report immediately but
             # asynchronously, so callers never reenter from inside ping().
+            if span is not None:
+                self._spans.end(span, outcome="send-failed")
             result = PingResult(PingStatus.SEND_FAILED, dst_node, network, None)
             self.sim.schedule(0.0, lambda: callback(result))
             return
         key = (ident, seq)
         timeout_ev = self.sim.schedule(timeout_s, lambda: self._on_timeout(key))
-        self._pending[key] = (timeout_ev, callback, self.sim.now, network, dst_node)
+        self._pending[key] = (timeout_ev, callback, self.sim.now, network, dst_node, span)
 
     def _on_timeout(self, key: tuple[int, int]) -> None:
         entry = self._pending.pop(key, None)
         if entry is None:
             return
-        _, callback, _, network, dst_node = entry
+        _, callback, _, network, dst_node, span = entry
         self.timeouts.add()
         self._m_timeouts.add()
+        if span is not None:
+            self._spans.end(span, outcome="timeout")
         callback(PingResult(PingStatus.TIMEOUT, dst_node, network, None))
 
     # --------------------------------------------------------------- responder
@@ -160,7 +184,9 @@ class IcmpService:
             entry = self._pending.pop((msg.ident, msg.seq), None)
             if entry is None:
                 return  # late reply after timeout: ignored, like real ping
-            timeout_ev, callback, sent_at, network, dst_node = entry
+            timeout_ev, callback, sent_at, network, dst_node, span = entry
             self.sim.cancel(timeout_ev)
             self.replies_matched.add()
+            if span is not None:
+                self._spans.end(span, outcome="reply", rtt_s=self.sim.now - sent_at)
             callback(PingResult(PingStatus.REPLY, dst_node, network, self.sim.now - sent_at))

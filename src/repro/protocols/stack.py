@@ -40,7 +40,7 @@ def build_host_stack(
         node=node,
         table=table,
         net=net,
-        icmp=IcmpService(sim, net, metrics=metrics),
+        icmp=IcmpService(sim, net, metrics=metrics, trace=trace),
         udp=UdpService(net),
         tcp=TcpStack(sim, net),
     )

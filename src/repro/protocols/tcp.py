@@ -34,6 +34,11 @@ from repro.simkit import Counter, Simulator
 
 MSS_BYTES = 1460  #: maximum data bytes per segment
 
+#: the conservative RTO a fresh connection starts from (RFC 6298 lower bound
+#: as deployed); this is the "time of a TCP retransmit" deadline the paper
+#: measures failover against, and the default budget in post-mortem reports.
+DEFAULT_INITIAL_RTO_S = 1.0
+
 
 class TcpFlags(enum.Flag):
     """Segment flag bits (subset)."""
@@ -109,7 +114,7 @@ class TcpConnection:
         remote_port: int,
         active: bool,
         window_segments: int = 8,
-        initial_rto_s: float = 1.0,
+        initial_rto_s: float = DEFAULT_INITIAL_RTO_S,
         min_rto_s: float = 0.2,
         max_rto_s: float = 60.0,
         max_retries: int = 8,

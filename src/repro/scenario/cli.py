@@ -7,8 +7,10 @@ Usage::
     drs-sim --metrics-out /tmp/obs examples/scenarios/nic_failure_drs.json
 
 ``--metrics-out DIR`` writes, per scenario, a run manifest plus metrics
-snapshots (JSONL + Prometheus text) and the event trace as JSONL; inspect
-them with ``repro obs DIR``.
+snapshots (JSONL + Prometheus text), the event trace as JSONL, and — when
+the run recorded causal spans — a ``<name>.spans.json`` Chrome trace-event
+file loadable in Perfetto.  Inspect them with ``repro obs DIR``; rebuild
+the span views offline with ``repro obs export-trace`` / ``postmortem``.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.obs import (
     write_metrics_files,
     write_trace_jsonl,
 )
+from repro.obs.spans import span_log, write_chrome_trace
 from repro.scenario.run import run_scenario
 from repro.scenario.spec import ScenarioError, load_scenario
 from repro.viz import render_table
@@ -82,6 +85,11 @@ def main(argv: list[str] | None = None) -> int:
             write_metrics_files(metrics, obs_dir, spec.name)
             if report.trace is not None:
                 write_trace_jsonl(report.trace, obs_dir / f"{spec.name}.trace.jsonl")
+                spans = span_log(report.trace).spans
+                if spans:
+                    write_chrome_trace(
+                        obs_dir / f"{spec.name}.spans.json", spans, report.trace.entries()
+                    )
         if not args.compare:
             print(report.render())
             print()

@@ -26,6 +26,7 @@ from repro.cluster import (
 from repro.drs import DrsConfig, install_drs
 from repro.netsim import FaultScenario, build_dual_backplane_cluster
 from repro.obs import MetricsRegistry, resolve_registry, use_registry
+from repro.obs.spans import span_log
 from repro.protocols import install_stacks
 from repro.scenario.spec import ScenarioError, ScenarioSpec
 from repro.simkit import Process, Simulator, TraceRecorder
@@ -206,6 +207,9 @@ def _run_scenario(spec: ScenarioSpec) -> ScenarioReport:
 
     _, workload_metrics = _start_workload(spec, sim, cluster, stacks, rng)
     sim.run(until=spec.duration_s)
+    # Seal still-open spans (daemon lifetimes, unrepaired incidents) so the
+    # trace artifact carries the complete causal record of the run.
+    span_log(cluster.trace).flush()
 
     repairs = cluster.trace.entries("drs-repair") + cluster.trace.entries("reactive-repair")
     latencies = [e.fields["repair_latency"] for e in repairs if "repair_latency" in e.fields]

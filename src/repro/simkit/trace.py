@@ -111,14 +111,23 @@ class TraceRecorder:
 
     A shared recorder is threaded through the network model; tests and
     experiments query it instead of scraping stdout.
+
+    Hooks are for *exporting* entries (streaming JSONL writers, span
+    mirrors); an export failure must never corrupt the trace or abort the
+    simulation.  A hook that raises is therefore detached after its first
+    failure and the exception kept in :attr:`hook_errors` — the trace entry
+    itself is always appended before any hook runs.
     """
 
     def __init__(self, sim: Simulator, enabled: bool = True) -> None:
         self.sim = sim
         self.enabled = enabled
         self._entries: list[TraceEntry] = []
+        self._by_category: dict[str, list[TraceEntry]] = {}
         self._hooks: list[Callable[[TraceEntry], None]] = []
         self._disabled: set[str] = set()
+        #: exceptions raised by detached hooks, in detachment order
+        self.hook_errors: list[Exception] = []
 
     def record(self, category: str, **fields: Any) -> None:
         """Record one event at the current simulation time."""
@@ -126,8 +135,24 @@ class TraceRecorder:
             return
         entry = TraceEntry(time=self.sim.now, category=category, fields=fields)
         self._entries.append(entry)
+        bucket = self._by_category.get(category)
+        if bucket is None:
+            self._by_category[category] = [entry]
+        else:
+            bucket.append(entry)
+        if self._hooks:
+            self._dispatch(entry)
+
+    def _dispatch(self, entry: TraceEntry) -> None:
+        failed: list[Callable[[TraceEntry], None]] = []
         for hook in self._hooks:
-            hook(entry)
+            try:
+                hook(entry)
+            except Exception as exc:  # noqa: BLE001 - export must not kill the sim
+                self.hook_errors.append(exc)
+                failed.append(hook)
+        for hook in failed:
+            self._hooks.remove(hook)
 
     # ----------------------------------------------------------- hot-path gate
     def wants(self, category: str) -> bool:
@@ -158,28 +183,27 @@ class TraceRecorder:
         """All entries, optionally restricted to one category."""
         if category is None:
             return list(self._entries)
-        return [e for e in self._entries if e.category == category]
+        return list(self._by_category.get(category, ()))
 
     def iter_entries(self, category: str | None = None) -> Iterator[TraceEntry]:
         """Lazily iterate entries, optionally restricted to one category."""
-        for e in self._entries:
-            if category is None or e.category == category:
-                yield e
+        source = self._entries if category is None else self._by_category.get(category, ())
+        yield from source
 
     def count(self, category: str) -> int:
-        """Number of entries in a category."""
-        return sum(1 for e in self._entries if e.category == category)
+        """Number of entries in a category (O(1) via the per-category index)."""
+        bucket = self._by_category.get(category)
+        return len(bucket) if bucket is not None else 0
 
     def last(self, category: str) -> TraceEntry | None:
-        """Most recent entry in a category, or ``None``."""
-        for e in reversed(self._entries):
-            if e.category == category:
-                return e
-        return None
+        """Most recent entry in a category, or ``None`` (O(1))."""
+        bucket = self._by_category.get(category)
+        return bucket[-1] if bucket else None
 
     def clear(self) -> None:
         """Drop all recorded entries (hooks stay registered)."""
         self._entries.clear()
+        self._by_category.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -10,6 +10,11 @@ story is readable at a glance::
 
 Lane glyphs: ``X`` component down, ``D`` failure detected but not yet
 repaired, ``r`` repair installed, ``R`` direct route restored.
+
+Input can be flat :class:`~repro.simkit.trace.TraceEntry` records, span
+objects from :mod:`repro.obs.spans` (anything with ``phase``/``start``
+attributes — detected structurally so this module needs no obs import),
+or a mix of both.
 """
 
 from __future__ import annotations
@@ -36,15 +41,57 @@ def _component_lanes(entries: list[TraceEntry], t_end: float) -> dict[str, list[
             open_at.setdefault(component, entry.time)
         else:
             start = open_at.pop(component, None)
-            if start is not None:
-                lanes.setdefault(component, []).append(_Interval(start, entry.time))
+            if start is not None and start <= t_end:
+                lanes.setdefault(component, []).append(_Interval(start, min(entry.time, t_end)))
+    # Never-repaired components: clamp the open window to the render horizon
+    # so a lane cannot extend past the axis.
     for component, start in open_at.items():
-        lanes.setdefault(component, []).append(_Interval(start, None))
+        if start <= t_end:
+            lanes.setdefault(component, []).append(_Interval(start, t_end))
     return lanes
 
 
+def _entries_from_span(span) -> list[TraceEntry]:
+    """Translate one causal span into the equivalent point events.
+
+    Structural on purpose: accepts any object with ``phase``/``start``
+    (``repro.obs.spans.Span`` in practice) without importing obs.
+    """
+    attrs = dict(getattr(span, "attrs", None) or {})
+    end = getattr(span, "end", None)
+    sealed = end is not None and not attrs.get("unfinished")
+    out: list[TraceEntry] = []
+    if span.phase == "fault":
+        component = attrs.get("component", getattr(span, "name", "?"))
+        out.append(TraceEntry(span.start, "fault", {"component": component, "action": "fail"}))
+        if sealed:
+            out.append(TraceEntry(end, "fault", {"component": component, "action": "repair"}))
+    elif span.phase == "failover":
+        fields = {"node": getattr(span, "node", None), "peer": attrs.get("peer")}
+        out.append(TraceEntry(span.start, "drs-detect", dict(fields)))
+        if sealed and attrs.get("outcome") in ("direct-swap", "two-hop"):
+            out.append(TraceEntry(end, "drs-repair", dict(fields)))
+    elif span.phase == "restore":
+        fields = {"node": getattr(span, "node", None), "peer": attrs.get("peer")}
+        out.append(TraceEntry(end if end is not None else span.start, "drs-restore", fields))
+    return out
+
+
+def _normalize(entries: list) -> list[TraceEntry]:
+    flat: list[TraceEntry] = []
+    for item in entries:
+        if isinstance(item, TraceEntry):
+            flat.append(item)
+        elif hasattr(item, "phase") and hasattr(item, "start"):
+            flat.extend(_entries_from_span(item))
+        else:
+            raise TypeError(f"cannot render {type(item).__name__}: need TraceEntry or span")
+    flat.sort(key=lambda e: e.time)
+    return flat
+
+
 def render_timeline(
-    entries: list[TraceEntry],
+    entries: list,
     t_start: float = 0.0,
     t_end: float | None = None,
     width: int = 72,
@@ -52,11 +99,13 @@ def render_timeline(
 ) -> str:
     """Render fault windows and repair events between ``t_start`` and ``t_end``.
 
+    ``entries`` may be trace entries, spans, or a mix (see module doc).
     ``node`` restricts the protocol-event lanes to one observer daemon
     (component lanes always show the whole cluster).
     """
     if width < 24:
         raise ValueError("width too small to render")
+    entries = _normalize(entries)
     if t_end is None:
         t_end = max((e.time for e in entries), default=t_start) + 1e-9
     span = t_end - t_start

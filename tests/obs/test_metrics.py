@@ -160,3 +160,36 @@ def test_ensure_core_metrics_registers_stable_schema():
     # idempotent: re-running never duplicates or re-kinds anything
     assert ensure_core_metrics(reg) is reg
     assert reg.histogram("drs_broadcast_fanout").bounds == tuple(float(b) for b in DEFAULT_COUNT_BUCKETS)
+
+
+def test_histogram_observation_on_bucket_bound_is_inclusive():
+    # Bounds are Prometheus-style upper bounds (le): a value exactly on a
+    # bound must land in that bucket, not the next one.
+    h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+    h.observe(1.0)
+    h.observe(2.0)
+    h.observe(4.0)
+    assert h.counts == [1, 1, 1, 0]
+    assert h.quantile(0.0) == 0.0  # q=0 interpolates from the bucket floor
+
+
+def test_histogram_negative_observation_lands_in_first_bucket():
+    h = Histogram("delta", buckets=(0.0, 1.0))
+    h.observe(-3.5)
+    h.observe(0.5)
+    assert h.counts == [1, 1, 0]
+    assert h.min == -3.5 and h.max == 0.5
+    assert h.sum == pytest.approx(-3.0)
+
+
+def test_histogram_empty_snapshot_renders():
+    from repro.viz import metrics_summary_table
+
+    registry = MetricsRegistry()
+    registry.histogram("never_observed_seconds")
+    snapshot = registry.snapshot()
+    (row,) = snapshot
+    assert row["count"] == 0 and row["min"] is None and row["max"] is None
+    text = metrics_summary_table(snapshot, title="t")
+    assert "never_observed_seconds" in text and "-" in text
+    assert metrics_summary_table([], title="t") == "t: (empty)"

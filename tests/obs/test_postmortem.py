@@ -1,0 +1,132 @@
+"""Post-mortem reconstruction: critical paths must agree with the metrics."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, ensure_core_metrics
+from repro.obs.postmortem import (
+    build_postmortems,
+    render_postmortems,
+    summarize_postmortems,
+)
+from repro.obs.spans import Span, span_log
+from repro.protocols.tcp import DEFAULT_INITIAL_RTO_S
+from repro.scenario.run import run_scenario
+from repro.scenario.spec import FaultStep, ScenarioSpec
+
+
+def _hub_failure_report():
+    """A seeded single-hub-failure scenario (hub0 down 10s..20s)."""
+    spec = ScenarioSpec(
+        name="pm-hub-failure",
+        nodes=4,
+        duration_s=30.0,
+        protocol_kind="drs",
+        protocol_options={"sweep_period_s": 0.5},
+        faults=(
+            FaultStep(at=10.0, action="fail", component="hub0"),
+            FaultStep(at=20.0, action="repair", component="hub0"),
+        ),
+        seed=7,
+    )
+    metrics = ensure_core_metrics(MetricsRegistry())
+    return run_scenario(spec, metrics=metrics), metrics
+
+
+def test_postmortem_totals_match_failover_histogram():
+    """Acceptance: per-episode totals reproduce drs_failover_latency_seconds."""
+    report, metrics = _hub_failure_report()
+    spans = span_log(report.trace).spans
+    reports = build_postmortems(spans)
+    hist = metrics.histogram("drs_failover_latency_seconds")
+    assert len(reports) == hist.count > 0
+    assert sum(r.failover_latency_s for r in reports) == pytest.approx(hist.sum)
+    assert max(r.failover_latency_s for r in reports) == pytest.approx(hist.max)
+    assert min(r.failover_latency_s for r in reports) == pytest.approx(hist.min)
+
+
+def test_postmortem_attributes_detection_and_budget():
+    report, _ = _hub_failure_report()
+    reports = build_postmortems(span_log(report.trace).spans)
+    for r in reports:
+        assert r.incident is not None and r.incident.attrs["component"] == "hub0"
+        assert r.detection is not None and r.detection.duration >= 0
+        assert r.outcome == "direct-swap"
+        assert r.total_s == pytest.approx(r.detection.duration + r.failover_latency_s)
+        assert r.budget_consumed == pytest.approx(r.total_s / DEFAULT_INITIAL_RTO_S)
+
+
+def test_build_postmortems_synthetic_discovery_path():
+    spans = [
+        Span(1, "incident:nic1.0", "fault", 10.0, 25.0, attrs={"component": "nic1.0"}),
+        Span(2, "failover", "failover", 10.4, 10.9, parent_id=1, incident_id=1,
+             node=0, attrs={"peer": 1, "outcome": "two-hop"}),
+        Span(3, "discovery", "discovery", 10.5, 10.8, parent_id=2, incident_id=1, node=0),
+    ]
+    (r,) = build_postmortems(spans)
+    assert [p.name for p in r.phases] == ["discovery-wait", "discovery", "install"]
+    assert r.failover_latency_s == pytest.approx(0.5)
+    assert r.total_s == pytest.approx(0.9)
+    assert not r.deadline_violated
+    tight = build_postmortems(spans, deadline_s=0.5)[0]
+    assert tight.deadline_violated and tight.budget_consumed == pytest.approx(1.8)
+
+
+def test_unreachable_episode_violates_deadline():
+    spans = [
+        Span(2, "failover", "failover", 1.0, 3.0, node=0,
+             attrs={"peer": 1, "outcome": "unreachable"}),
+    ]
+    (r,) = build_postmortems(spans, deadline_s=10.0)
+    assert r.incident is None and r.deadline_violated
+
+
+def test_node_filter_and_open_spans_skipped():
+    spans = [
+        Span(1, "failover", "failover", 1.0, 2.0, node=0, attrs={"peer": 1}),
+        Span(2, "failover", "failover", 1.0, 2.0, node=3, attrs={"peer": 1}),
+        Span(3, "failover", "failover", 1.0, None, node=0),  # still open
+    ]
+    assert len(build_postmortems(spans)) == 2
+    only = build_postmortems(spans, node=3)
+    assert len(only) == 1 and only[0].node == 3
+
+
+def test_render_and_summary():
+    report, _ = _hub_failure_report()
+    reports = build_postmortems(span_log(report.trace).spans)
+    text = render_postmortems(reports)
+    assert "hub0" in text and "within deadline" in text and "budget" in text
+    assert render_postmortems([]).startswith("postmortem: no failover episodes")
+    summary = summarize_postmortems(reports)
+    assert summary["episodes"] == len(reports)
+    assert summary["deadline_violations"] == 0
+    assert summarize_postmortems([]) == {"episodes": 0, "deadline_violations": 0}
+
+
+def test_postmortem_cli_on_trace_artifact(tmp_path, capsys):
+    from repro.obs.artifacts import write_trace_jsonl
+    from repro.obs.cli import main
+
+    report, _ = _hub_failure_report()
+    path = tmp_path / "run.trace.jsonl"
+    write_trace_jsonl(report.trace, path)
+    assert main(["postmortem", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "episode(s)" in out and "hub0" in out
+
+
+def test_export_trace_cli_writes_valid_chrome_json(tmp_path, capsys):
+    from repro.obs.artifacts import write_trace_jsonl
+    from repro.obs.cli import main
+    from repro.obs.spans import validate_chrome_trace
+
+    report, _ = _hub_failure_report()
+    src = tmp_path / "run.trace.jsonl"
+    write_trace_jsonl(report.trace, src)
+    out_path = tmp_path / "run.spans.json"
+    assert main(["export-trace", str(src), "--out", str(out_path)]) == 0
+    doc = json.loads(out_path.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert any(e.get("cat") == "failover" for e in doc["traceEvents"])

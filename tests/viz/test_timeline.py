@@ -81,3 +81,67 @@ def test_timeline_validation():
 def test_timeline_empty_trace_renders_axis():
     text = render_timeline([], t_end=10.0)
     assert "time" in text and "legend" in text
+
+
+def test_component_lane_clamped_to_t_end():
+    from repro.viz.timeline import _component_lanes
+    from repro.simkit.trace import TraceEntry
+
+    entries = [
+        TraceEntry(2.0, "fault", {"component": "hub0", "action": "fail"}),
+        TraceEntry(50.0, "fault", {"component": "hub0", "action": "repair"}),
+        TraceEntry(8.0, "fault", {"component": "nic1.0", "action": "fail"}),  # never repaired
+        TraceEntry(99.0, "fault", {"component": "late", "action": "fail"}),  # after horizon
+    ]
+    lanes = _component_lanes(entries, t_end=10.0)
+    (hub,) = lanes["hub0"]
+    assert hub.start == 2.0 and hub.end == 10.0  # repair past horizon: clamped
+    (nic,) = lanes["nic1.0"]
+    assert nic.end == 10.0  # open interval closed at the horizon
+    assert "late" not in lanes
+
+
+def test_render_timeline_accepts_spans():
+    from repro.obs.spans import Span
+
+    spans = [
+        Span(1, "incident:hub0", "fault", 2.0, 8.0, attrs={"component": "hub0"}),
+        Span(2, "failover", "failover", 3.0, 4.0, parent_id=1, incident_id=1,
+             node=0, attrs={"peer": 1, "outcome": "direct-swap"}),
+        Span(3, "restore", "restore", 8.5, 8.5, node=0, attrs={"peer": 1}),
+    ]
+    text = render_timeline(spans, t_end=10.0)
+    lines = text.splitlines()
+    hub_lane = next(l for l in lines if l.startswith("hub0"))
+    assert "X" in hub_lane
+    pair_lane = next(l for l in lines if l.startswith("node0->1"))
+    assert "D" in pair_lane and "r" in pair_lane and "R" in pair_lane
+    assert pair_lane.index("D") <= pair_lane.index("r") <= pair_lane.index("R")
+
+
+def test_render_timeline_accepts_mixed_spans_and_entries():
+    from repro.obs.spans import Span
+    from repro.simkit.trace import TraceEntry
+
+    mixed = [
+        TraceEntry(1.0, "fault", {"component": "nic0.0", "action": "fail"}),
+        Span(1, "failover", "failover", 2.0, None, node=1, attrs={"peer": 0}),  # open
+    ]
+    text = render_timeline(mixed, t_end=5.0)
+    assert "nic0.0" in text and "node1->0" in text
+    with pytest.raises(TypeError):
+        render_timeline([object()], t_end=5.0)
+
+
+def test_unfinished_incident_span_stays_open():
+    from repro.obs.spans import Span
+
+    spans = [
+        Span(1, "incident:hub0", "fault", 2.0, 6.0,
+             attrs={"component": "hub0", "unfinished": True}),
+    ]
+    text = render_timeline(spans, t_end=10.0)
+    hub_lane = next(l for l in text.splitlines() if l.startswith("hub0"))
+    # flushed-but-unrepaired: the down-window runs to the horizon
+    assert hub_lane.rstrip().endswith("X")
+    assert "." in hub_lane  # but starts after t=0
