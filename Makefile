@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint smoke bench experiments experiments-quick examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,17 @@ experiments:
 
 experiments-quick:
 	$(PYTHON) -m repro.experiments.runner --quick --out results
+
+# quick suite on the process-pool backend, then prove --jobs changed nothing:
+# rerun the two MC-heavy sweeps serially and diff the CSVs byte-for-byte
+quick-parallel:
+	rm -rf results-parallel /tmp/drs-serial-check
+	$(PYTHON) -m repro.experiments.runner --quick --out results-parallel --jobs 2
+	$(PYTHON) -m repro.experiments.runner --quick --out /tmp/drs-serial-check --jobs 1 figure2 availability
+	@for f in figure2_equation1 figure2_montecarlo figure2_endpoints availability_downtime availability_weighted; do \
+		cmp results-parallel/$$f.csv /tmp/drs-serial-check/$$f.csv || exit 1; \
+	done
+	@echo "quick-parallel: OK (serial and process-pool outputs identical)"
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

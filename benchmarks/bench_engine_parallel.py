@@ -1,0 +1,46 @@
+"""Engine bench — serial vs process-pool wall time on the quick MC sweeps.
+
+Not a paper artifact: times the two Monte Carlo-heavy quick-profile
+experiments (``figure2``, ``availability``) on both executor backends and
+asserts they agree on values.  On multi-core runners the pool should win;
+on a single core it records the pool's round-trip overhead instead — either
+way the committed ``BENCH_bench_engine_parallel.json`` snapshot gives perf
+PRs a baseline for the executor layer itself.
+"""
+
+from repro.engine import ParallelExecutor, SerialExecutor
+from repro.experiments import availability, figure2
+
+QUICK_FIGURE2 = {"mc_iterations": 2_000}
+QUICK_AVAILABILITY = {"n_values": (4, 16), "mc_iterations": 30_000}
+
+
+def _run_quick_sweeps(executor):
+    f2 = figure2.run(**QUICK_FIGURE2, executor=executor)
+    av = availability.run(**QUICK_AVAILABILITY, executor=executor)
+    return f2, av
+
+
+def test_quick_sweeps_serial(benchmark):
+    f2, av = benchmark.pedantic(
+        lambda: _run_quick_sweeps(SerialExecutor()), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert f2.meta["engine"]["backend"] == "serial"
+    assert av.meta["engine"]["backend"] == "serial"
+
+
+def test_quick_sweeps_process_pool(benchmark):
+    f2, av = benchmark.pedantic(
+        lambda: _run_quick_sweeps(ParallelExecutor(workers=2)),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert f2.meta["engine"]["backend"] == "process-pool"
+    assert f2.meta["engine"]["workers"] == 2
+    # backend must change wall time only, never values
+    serial_f2, serial_av = _run_quick_sweeps(SerialExecutor())
+    for key, curves in serial_f2.series["montecarlo"].curves.items():
+        pooled = f2.series["montecarlo"].curves[key]
+        assert curves[1].tolist() == pooled[1].tolist(), key
+    assert serial_av.tables["weighted"].rows == av.tables["weighted"].rows

@@ -15,6 +15,24 @@ import numpy as np
 
 from repro.obs.profiler import publish_mc_throughput
 from repro.obs.progress import heartbeat
+from repro.simkit.rng import spawn_seedseq
+
+
+def _resolve_rng(
+    rng: np.random.Generator | None, seed: int | None, *names: str
+) -> np.random.Generator:
+    """An explicit generator, or an independent stream spawned from ``seed``.
+
+    Seed-based callers get a child keyed by the estimator's own grid point
+    (``names``), so every point is an independent stream: running a subset
+    of a sweep reproduces exactly that slice of the full run, and grid
+    points can be evaluated in any order or process.
+    """
+    if rng is not None:
+        return rng
+    if seed is None:
+        raise TypeError("pass either rng= or seed=")
+    return np.random.default_rng(spawn_seedseq(seed, *names))
 
 
 def sample_failure_matrix(n: int, f: int, iterations: int, rng: np.random.Generator) -> np.ndarray:
@@ -68,15 +86,19 @@ def simulate_success_probability(
     n: int,
     f: int,
     iterations: int,
-    rng: np.random.Generator,
+    rng: np.random.Generator | None = None,
     two_hop: bool = True,
     batch: int = 200_000,
+    seed: int | None = None,
 ) -> float:
     """Monte Carlo estimate of Equation 1 for one (N, f) point.
 
-    Batches keep peak memory at ``batch * (2n+2)`` booleans regardless of
-    the requested iteration count.
+    Draws from ``rng`` when given; otherwise from an independent stream
+    spawned from ``seed`` and keyed by ``(n, f)``.  Batches keep peak memory
+    at ``batch * (2n+2)`` booleans regardless of the requested iteration
+    count.
     """
+    rng = _resolve_rng(rng, seed, f"mc/n={n}/f={f}")
     remaining = iterations
     good = 0
     started = perf_counter()
@@ -97,16 +119,26 @@ def simulate_success_probability(
 def simulate_curve(
     f: int,
     iterations: int,
-    rng: np.random.Generator,
+    rng: np.random.Generator | None = None,
     n_max: int = 63,
     n_min: int | None = None,
     two_hop: bool = True,
+    seed: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Monte Carlo P[Success] versus N for fixed ``f`` (simulated Figure 2)."""
+    """Monte Carlo P[Success] versus N for fixed ``f`` (simulated Figure 2).
+
+    With ``rng``, one shared stream is threaded through the points (each
+    point's draws then depend on its predecessors).  With ``seed``, every
+    point gets its own spawned stream, so any sub-range of N reproduces the
+    corresponding slice of the full curve.
+    """
     if n_min is None:
         n_min = max(2, f + 1)
     ns = np.arange(n_min, n_max + 1)
     ps = np.array(
-        [simulate_success_probability(int(n), f, iterations, rng, two_hop=two_hop) for n in ns]
+        [
+            simulate_success_probability(int(n), f, iterations, rng, two_hop=two_hop, seed=seed)
+            for n in ns
+        ]
     )
     return ns, ps

@@ -1,0 +1,78 @@
+"""Parallel execution engine for the experiment suite.
+
+Three layers turn "regenerate every paper artifact" into work that scales
+with cores while staying bit-for-bit reproducible from one integer seed:
+
+* :mod:`repro.engine.spec` — the declarative registry:
+  :class:`ExperimentSpec` (name, run callable, ``quick``/``full`` profiles),
+  registered by each :mod:`repro.experiments.*` module at import time.
+* :mod:`repro.engine.jobs` — :class:`Job` / :class:`JobPlan`: a sweep
+  decomposed into independent units, each with a deterministic child seed
+  spawned from ``(root seed, experiment, job name)``.
+* :mod:`repro.engine.executors` — :class:`SerialExecutor` (default) and the
+  process-pool :class:`ParallelExecutor` (``drs-experiments --jobs N``),
+  which merges per-worker metrics registries and heartbeat counts back into
+  the parent run.
+
+See ``docs/engine.md`` for the seed-spawning contract and worked examples.
+"""
+
+from typing import Any
+
+from repro.engine.executors import (
+    JobError,
+    ParallelExecutor,
+    PlanExecution,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.jobs import Job, JobFn, JobPlan
+from repro.engine.spec import (
+    ExperimentSpec,
+    experiment_specs,
+    get_spec,
+    register,
+    spec_names,
+)
+
+
+def run_plan(plan: JobPlan, executor: Any | None = None) -> Any:
+    """Execute a plan on an executor (default serial) and reduce the values.
+
+    The reduced result's ``meta`` — when it has one, as every
+    :class:`~repro.experiments.base.ExperimentResult` does — gains an
+    ``engine`` section recording backend, worker count, job count, root
+    seed, and the per-job seed fingerprints, which the runner folds into the
+    run manifest.
+    """
+    executor = executor if executor is not None else SerialExecutor()
+    execution = executor.run(plan)
+    result = plan.reduce(execution.values)
+    meta = getattr(result, "meta", None)
+    if isinstance(meta, dict):
+        meta["engine"] = {
+            "backend": execution.backend,
+            "workers": execution.workers,
+            "jobs": len(plan.jobs),
+            "root_seed": plan.seed,
+            "job_seeds": execution.job_seeds,
+        }
+    return result
+
+
+__all__ = [
+    "ExperimentSpec",
+    "register",
+    "get_spec",
+    "experiment_specs",
+    "spec_names",
+    "Job",
+    "JobFn",
+    "JobPlan",
+    "JobError",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "PlanExecution",
+    "make_executor",
+    "run_plan",
+]

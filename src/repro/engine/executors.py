@@ -1,0 +1,192 @@
+"""Pluggable executors: run a :class:`~repro.engine.jobs.JobPlan`'s jobs.
+
+Two backends ship:
+
+* :class:`SerialExecutor` — runs every job in-process, in plan order.  The
+  default, and the reference behavior: jobs publish metrics and heartbeats
+  directly into the caller's current registry/reporter.
+* :class:`ParallelExecutor` — fans jobs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker chunk runs
+  under a private :class:`~repro.obs.metrics.MetricsRegistry` and a silent
+  heartbeat collector; the parent merges registries back via
+  :meth:`MetricsRegistry.merge` and absorbs heartbeat summaries, so the
+  run's artifacts aggregate the whole fleet.
+
+Because every job's random stream is spawned from ``(root seed, experiment,
+job name)`` (see :mod:`repro.engine.jobs`), the two backends produce
+identical values for identical plans — worker count and scheduling order
+can only change wall time, never results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.jobs import Job, JobPlan
+from repro.obs.metrics import MetricsRegistry, current_registry, ensure_core_metrics, use_registry
+from repro.obs.progress import ProgressReporter, heartbeat, set_heartbeat
+
+
+class JobError(RuntimeError):
+    """A job failed; carries the job name for attribution across processes."""
+
+    def __init__(self, experiment: str, job_name: str, cause: BaseException | str) -> None:
+        super().__init__(f"job {job_name!r} of experiment {experiment!r} failed: {cause!r}")
+        self.experiment = experiment
+        self.job_name = job_name
+        self.cause = cause if isinstance(cause, str) else repr(cause)
+
+    def __reduce__(self):
+        # default exception pickling replays __init__ with ``args`` (the
+        # formatted message) — a signature mismatch that would kill the pool's
+        # result pipe; rebuild from the stored fields instead
+        return (type(self), (self.experiment, self.job_name, self.cause))
+
+
+@dataclass
+class PlanExecution:
+    """What an executor hands back: values by job name plus provenance."""
+
+    values: dict[str, Any]
+    backend: str
+    workers: int
+    job_seeds: dict[str, int] = field(default_factory=dict)
+
+
+class SerialExecutor:
+    """Run jobs one after another in the calling process (the default)."""
+
+    name = "serial"
+    workers = 1
+
+    def run(self, plan: JobPlan) -> PlanExecution:
+        """Execute every job in plan order; deterministic for a given plan."""
+        values: dict[str, Any] = {}
+        for job in plan.jobs:
+            try:
+                values[job.name] = job.fn(job.params, plan.job_seedseq(job))
+            except Exception as exc:
+                raise JobError(plan.experiment, job.name, exc) from exc
+            hb = heartbeat()
+            if hb is not None:
+                hb.add(0, jobs=1)
+        return PlanExecution(
+            values=values, backend=self.name, workers=1, job_seeds=plan.job_seeds()
+        )
+
+
+def _run_chunk(
+    experiment: str, seed: int, jobs: list[Job]
+) -> tuple[dict[str, Any], MetricsRegistry, dict]:
+    """Worker entry point: run a chunk of jobs under private observability.
+
+    Returns the chunk's values, its metrics registry (merged by the parent),
+    and the silent heartbeat collector's summary.  Module-level so process
+    pools can pickle it regardless of start method.
+    """
+    from repro.engine.jobs import JobPlan  # re-import friendly under spawn
+    from repro.obs.profiler import install_profiling
+
+    plan = JobPlan(experiment=experiment, seed=seed, jobs=jobs, reduce=lambda v: v)
+    install_profiling()
+    registry = ensure_core_metrics(MetricsRegistry())
+    # Never emits (interval is effectively infinite): pure collector whose
+    # summary the parent absorbs into the run's real reporter.
+    collector = ProgressReporter(experiment, interval_s=1e12)
+    set_heartbeat(collector)
+    try:
+        with use_registry(registry):
+            values: dict[str, Any] = {}
+            for job in jobs:
+                try:
+                    values[job.name] = job.fn(job.params, plan.job_seedseq(job))
+                except Exception as exc:
+                    raise JobError(experiment, job.name, exc) from exc
+    finally:
+        set_heartbeat(None)
+    return values, registry, collector.summary()
+
+
+class ParallelExecutor:
+    """Fan jobs out over a process pool; results identical to serial.
+
+    ``workers`` defaults to the machine's CPU count.  Jobs are grouped into
+    chunks (several jobs per round trip) to amortize pickling and registry
+    transfer; chunking affects only scheduling, never values.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int | None = None, chunks_per_worker: int = 4) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunks_per_worker < 1:
+            raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunks_per_worker = chunks_per_worker
+
+    def _chunk(self, jobs: list[Job]) -> list[list[Job]]:
+        if not jobs:
+            return []
+        target = self.workers * self.chunks_per_worker
+        size = max(1, -(-len(jobs) // target))  # ceil division
+        return [jobs[i : i + size] for i in range(0, len(jobs), size)]
+
+    def run(self, plan: JobPlan) -> PlanExecution:
+        """Execute the plan on the pool, merging worker observability back."""
+        values: dict[str, Any] = {}
+        registry = current_registry()
+        reporter = heartbeat()
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {
+                pool.submit(_run_chunk, plan.experiment, plan.seed, chunk): chunk
+                for chunk in self._chunk(plan.jobs)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk = pending.pop(future)
+                    chunk_values, worker_registry, hb_summary = future.result()
+                    values.update(chunk_values)
+                    registry.merge(worker_registry)
+                    if reporter is not None:
+                        reporter.absorb(hb_summary)
+                        reporter.add(0, jobs=len(chunk))
+        _recompute_rate_gauges(registry)
+        return PlanExecution(
+            values=values, backend=self.name, workers=self.workers, job_seeds=plan.job_seeds()
+        )
+
+
+def _recompute_rate_gauges(registry: MetricsRegistry) -> None:
+    """Derive throughput gauges from merged totals.
+
+    Summing per-worker rate gauges over-counts (each measures a different
+    wall interval); the ratio of the merged counters is the right aggregate.
+    """
+    for gauge_name, total_name, wall_name in (
+        ("sim_events_per_second", "sim_events_total", "sim_run_seconds_total"),
+        ("mc_iterations_per_second", "mc_iterations_total", "mc_wall_seconds_total"),
+    ):
+        total, wall = registry.get(total_name), registry.get(wall_name)
+        if total is not None and wall is not None and wall.value > 0:
+            registry.gauge(gauge_name).set(total.value / wall.value)
+
+
+def make_executor(jobs: int | None) -> SerialExecutor | ParallelExecutor:
+    """CLI helper: ``--jobs N`` to an executor (``0``/``None`` = all cores).
+
+    ``--jobs 1`` (and single-core machines asking for "all cores") stays
+    serial: a one-worker pool costs process round trips and buys nothing.
+    """
+    if jobs is None or jobs == 1:
+        return SerialExecutor()
+    if jobs < 0:
+        raise ValueError(f"--jobs must be >= 0, got {jobs}")
+    workers = jobs if jobs > 0 else (os.cpu_count() or 1)
+    if workers == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers=workers)

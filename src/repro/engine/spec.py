@@ -1,0 +1,81 @@
+"""Declarative experiment registry.
+
+Each :mod:`repro.experiments.*` module declares what it can run as one or
+more :class:`ExperimentSpec` objects — name, run callable, and ``quick`` /
+``full`` parameter profiles — and registers them at import time.  The
+``drs-experiments`` CLI is then a pure consumer: it looks specs up here
+instead of maintaining hand-written lambda tables per profile.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+PROFILES = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: its entry point and parameter profiles.
+
+    ``profiles`` maps profile name to the kwargs passed to ``run`` (``full``
+    is usually empty — the function's own defaults are the paper-scale
+    configuration).  ``parallel`` marks runs that accept an ``executor=``
+    keyword (sweep experiments decomposed into a job plan); ``order`` fixes
+    the CLI's default run/listing sequence.
+    """
+
+    name: str
+    run: Callable[..., Any]
+    profiles: dict[str, dict[str, Any]] = field(default_factory=dict)
+    parallel: bool = False
+    order: int = 100
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for profile in PROFILES:
+            if profile not in self.profiles:
+                raise ValueError(f"spec {self.name!r} is missing the {profile!r} profile")
+
+    def kwargs(self, profile: str) -> dict[str, Any]:
+        """A fresh copy of one profile's kwargs."""
+        if profile not in self.profiles:
+            raise KeyError(f"spec {self.name!r} has no profile {profile!r}: {list(self.profiles)}")
+        return dict(self.profiles[profile])
+
+    @property
+    def accepts_seed(self) -> bool:
+        """Whether ``run`` takes a ``seed`` keyword (CLI ``--seed`` override)."""
+        try:
+            return "seed" in inspect.signature(self.run).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            return False
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register (or deliberately replace) a spec under its name."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look one spec up; raises ``KeyError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; have {', '.join(spec_names())}") from None
+
+
+def experiment_specs() -> list[ExperimentSpec]:
+    """Every registered spec, in (order, name) sequence."""
+    return sorted(_REGISTRY.values(), key=lambda spec: (spec.order, spec.name))
+
+
+def spec_names() -> list[str]:
+    """Registered experiment names, in listing order."""
+    return [spec.name for spec in experiment_specs()]

@@ -13,11 +13,14 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.analysis import simulate_success_probability, success_probability
 from repro.analysis.combinatorics import comb0
 from repro.drs import DrsConfig, install_drs
+from repro.engine import ExperimentSpec, Job, JobPlan, register, run_plan
 from repro.experiments.base import ExperimentResult
 from repro.netsim import build_dual_backplane_cluster
 from repro.protocols import install_stacks
@@ -71,6 +74,98 @@ def measured_detection_latency(sweep_period_s: float, n: int = 6, repeats: int =
     return mean_latency, overhead / repeats
 
 
+def _no_two_hop_point(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> float:
+    """Engine job: Monte Carlo P[Success] without two-hop routing at (N, f)."""
+    rng = np.random.default_rng(seed_seq)
+    return simulate_success_probability(
+        params["n"], params["f"], params["iterations"], rng, two_hop=False
+    )
+
+
+def _sweep_period_point(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> tuple[float, float]:
+    """Engine job: live-DES detection latency + probe overhead at one period.
+
+    The DES cluster here is deterministic (no frame loss), so the spawned
+    seed is unused — the job is still independent and relocatable.
+    """
+    return measured_detection_latency(params["sweep_period_s"])
+
+
+def build_plan(
+    n_values: tuple[int, ...] = (8, 16, 32, 48, 63),
+    f_values: tuple[int, ...] = (2, 4),
+    mc_iterations: int = 100_000,
+    sweep_periods: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    seed: int = 7,
+    run_des: bool = True,
+) -> JobPlan:
+    """One job per MC ablation point plus one per DES sweep period."""
+    jobs = [
+        Job(
+            name=f"no2hop/n={n}/f={f}",
+            fn=_no_two_hop_point,
+            params={"n": n, "f": f, "iterations": mc_iterations},
+        )
+        for f in f_values
+        for n in n_values
+    ]
+    if run_des:
+        jobs += [
+            Job(
+                name=f"des/period={period}",
+                fn=_sweep_period_point,
+                params={"sweep_period_s": period},
+            )
+            for period in sweep_periods
+        ]
+
+    def reduce(values: dict[str, Any]) -> ExperimentResult:
+        result = ExperimentResult("ablations")
+        result.meta = {
+            "seed": seed,
+            "n_values": list(n_values),
+            "f_values": list(f_values),
+            "mc_iterations": mc_iterations,
+            "sweep_periods": list(sweep_periods),
+            "run_des": run_des,
+        }
+
+        # 1 + 2: routing/redundancy ablations on the survivability model
+        rows = []
+        for f in f_values:
+            for n in n_values:
+                full = success_probability(n, f)
+                no_two_hop = values[f"no2hop/n={n}/f={f}"]
+                single = single_backplane_success(n, f)
+                rows.append([n, f, full, no_two_hop, single])
+        result.add_table(
+            "survivability",
+            ["N", "f", "DRS (Eq. 1)", "no two-hop (MC)", "single backplane"],
+            rows,
+            caption="What each architectural ingredient buys (pair survivability)",
+        )
+        result.note(
+            "single-backplane numbers use the exact closed form B1(n,f); the no-two-hop "
+            f"column is Monte Carlo with {mc_iterations} iterations"
+        )
+
+        # 3: proactive-cost continuum on the live DES
+        if run_des:
+            des_rows = []
+            for period in sweep_periods:
+                latency, overhead_bps = values[f"des/period={period}"]
+                des_rows.append([period, latency, overhead_bps / 1e3])
+            result.add_table(
+                "sweep_period",
+                ["sweep period (s)", "mean detect+repair (s)", "probe overhead (kb/s)"],
+                des_rows,
+                caption="Proactive-cost continuum: check less often, detect later (DES, N=6)",
+            )
+        return result
+
+    return JobPlan(experiment="ablations", seed=seed, jobs=jobs, reduce=reduce)
+
+
 def run(
     n_values: tuple[int, ...] = (8, 16, 32, 48, 63),
     f_values: tuple[int, ...] = (2, 4),
@@ -78,40 +173,30 @@ def run(
     sweep_periods: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
     seed: int = 7,
     run_des: bool = True,
+    executor: Any | None = None,
 ) -> ExperimentResult:
     """All three ablations."""
-    result = ExperimentResult("ablations")
-
-    # 1 + 2: routing/redundancy ablations on the survivability model
-    rows = []
-    rng = np.random.default_rng(seed)
-    for f in f_values:
-        for n in n_values:
-            full = success_probability(n, f)
-            no_two_hop = simulate_success_probability(n, f, mc_iterations, rng, two_hop=False)
-            single = single_backplane_success(n, f)
-            rows.append([n, f, full, no_two_hop, single])
-    result.add_table(
-        "survivability",
-        ["N", "f", "DRS (Eq. 1)", "no two-hop (MC)", "single backplane"],
-        rows,
-        caption="What each architectural ingredient buys (pair survivability)",
+    plan = build_plan(
+        n_values=n_values,
+        f_values=f_values,
+        mc_iterations=mc_iterations,
+        sweep_periods=sweep_periods,
+        seed=seed,
+        run_des=run_des,
     )
-    result.note(
-        "single-backplane numbers use the exact closed form B1(n,f); the no-two-hop "
-        f"column is Monte Carlo with {mc_iterations} iterations"
-    )
+    return run_plan(plan, executor)
 
-    # 3: proactive-cost continuum on the live DES
-    if run_des:
-        des_rows = []
-        for period in sweep_periods:
-            latency, overhead_bps = measured_detection_latency(period)
-            des_rows.append([period, latency, overhead_bps / 1e3])
-        result.add_table(
-            "sweep_period",
-            ["sweep period (s)", "mean detect+repair (s)", "probe overhead (kb/s)"],
-            des_rows,
-            caption="Proactive-cost continuum: check less often, detect later (DES, N=6)",
-        )
-    return result
+
+register(
+    ExperimentSpec(
+        name="ablations",
+        run=run,
+        profiles={
+            "quick": {"n_values": (8, 32), "mc_iterations": 20_000, "sweep_periods": (0.5, 2.0)},
+            "full": {},
+        },
+        parallel=True,
+        order=80,
+        description="two-hop / dual-backplane / sweep-period ablations",
+    )
+)

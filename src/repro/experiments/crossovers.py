@@ -7,6 +7,7 @@
 from __future__ import annotations
 
 from repro.analysis import crossover_n, success_probability
+from repro.engine import ExperimentSpec, register
 from repro.experiments.base import ExperimentResult
 
 PAPER_CROSSOVERS = {2: 18, 3: 32, 4: 45}
@@ -37,3 +38,14 @@ def run(f_values: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10), threshold: flo
     matches = all(crossover_n(f, threshold) == n for f, n in PAPER_CROSSOVERS.items())
     result.note(f"paper checkpoints (18/32/45) reproduced exactly: {matches}")
     return result
+
+
+register(
+    ExperimentSpec(
+        name="crossovers",
+        run=run,
+        profiles={"quick": {}, "full": {}},
+        order=40,
+        description="prose 0.99 crossovers (18/32/45)",
+    )
+)

@@ -7,16 +7,25 @@ live DES cluster running real DRS daemons, let them repair, then test pair
 reachability with a routed ping.  The empirical success rate over many
 replicates should match Equation 1 within binomial noise — demonstrating
 that the deployed-protocol behaviour and the paper's model agree.
+
+Replicates are independent simulations, so both drivers decompose into one
+engine job per replicate, each with a spawned seed keyed by
+``(n, f, replicate index)`` — deterministic for a given root seed on any
+executor backend and worker count.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import numpy as np
 
 from repro.analysis import success_probability
 from repro.drs import DrsConfig, install_drs
+from repro.engine import ExperimentSpec, Job, JobPlan, register, run_plan
 from repro.experiments.base import ExperimentResult
 from repro.netsim import build_dual_backplane_cluster
+from repro.obs.progress import heartbeat
 from repro.protocols import PingStatus, install_stacks
 from repro.simkit import Simulator
 
@@ -52,6 +61,15 @@ def _seeded_replicate(args: tuple[int, int, int]) -> bool:
     return one_replicate(n, f, np.random.default_rng(seed))
 
 
+def _replicate_job(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> bool:
+    """Engine job: one live-DES replicate at (n, f)."""
+    outcome = one_replicate(params["n"], params["f"], np.random.default_rng(seed_seq))
+    hb = heartbeat()
+    if hb is not None:
+        hb.add(1, **({} if outcome else {"pair_down": 1}))
+    return outcome
+
+
 def empirical_success(
     n: int,
     f: int,
@@ -61,7 +79,8 @@ def empirical_success(
 ) -> float:
     """Empirical pair-survivability of the implemented protocol.
 
-    Replicates are independent simulations, so they parallelize perfectly;
+    Standalone helper (the experiment drivers below go through the engine):
+    replicates are independent simulations, so they parallelize perfectly;
     ``workers`` > 1 fans them out over a process pool with per-replicate
     seeds drawn up front (the result is deterministic for a given ``rng``
     state regardless of worker count or scheduling).
@@ -77,12 +96,64 @@ def empirical_success(
     return sum(outcomes) / replicates
 
 
+def _replicate_jobs(pairs: list[tuple[int, int]], replicates: int) -> list[Job]:
+    """One job per (n, f, replicate index)."""
+    return [
+        Job(name=f"rep/n={n}/f={f}/i={i}", fn=_replicate_job, params={"n": n, "f": f})
+        for n, f in pairs
+        for i in range(replicates)
+    ]
+
+
+def _success_rate(values: dict[str, Any], n: int, f: int, replicates: int) -> float:
+    return sum(bool(values[f"rep/n={n}/f={f}/i={i}"]) for i in range(replicates)) / replicates
+
+
+def build_curve_plan(
+    f: int = 2,
+    n_values: tuple[int, ...] = (4, 6, 8, 10, 12),
+    replicates: int = 100,
+    seed: int = 2024,
+) -> JobPlan:
+    """Replicate jobs for the live-protocol survivability curve at fixed f."""
+    jobs = _replicate_jobs([(n, f) for n in n_values], replicates)
+
+    def reduce(values: dict[str, Any]) -> ExperimentResult:
+        result = ExperimentResult("desvalidation_curve")
+        result.meta = {"seed": seed, "f": f, "n_values": list(n_values), "replicates": replicates}
+        ns = list(n_values)
+        measured = [_success_rate(values, n, f, replicates) for n in ns]
+        analytic = [success_probability(n, f) for n in ns]
+        result.add_series(
+            "curve",
+            {"Equation 1": (ns, analytic), "DES (live DRS)": (ns, measured)},
+            caption=f"Live-protocol Figure 2 slice: P[Success] vs N at f={f}",
+            x_label="nodes",
+            y_label="P[Success]",
+        )
+        rows = [
+            [n, m, a, m - a, 2 * float(np.sqrt(max(a * (1 - a), 1e-9) / replicates))]
+            for n, m, a in zip(ns, measured, analytic)
+        ]
+        result.add_table(
+            "curve_points",
+            ["N", "DES measured", "Equation 1", "difference", "2-sigma binomial"],
+            rows,
+            caption=f"{replicates} replicates per point",
+        )
+        worst = max(abs(r[3]) for r in rows)
+        result.note(f"worst |DES - Equation 1| along the curve: {worst:.4f}")
+        return result
+
+    return JobPlan(experiment="desvalidation_curve", seed=seed, jobs=jobs, reduce=reduce)
+
+
 def run_curve(
     f: int = 2,
     n_values: tuple[int, ...] = (4, 6, 8, 10, 12),
     replicates: int = 100,
     seed: int = 2024,
-    workers: int | None = None,
+    executor: Any | None = None,
 ) -> ExperimentResult:
     """A live-protocol Figure 2: DES survivability vs N at fixed f.
 
@@ -90,31 +161,39 @@ def run_curve(
     protocol over cluster sizes and overlays both — the strongest form of
     the model-vs-system agreement claim.
     """
-    rng = np.random.default_rng(seed)
-    result = ExperimentResult("desvalidation_curve")
-    ns = list(n_values)
-    measured = [empirical_success(n, f, replicates, rng, workers=workers) for n in ns]
-    analytic = [success_probability(n, f) for n in ns]
-    result.add_series(
-        "curve",
-        {"Equation 1": (ns, analytic), "DES (live DRS)": (ns, measured)},
-        caption=f"Live-protocol Figure 2 slice: P[Success] vs N at f={f}",
-        x_label="nodes",
-        y_label="P[Success]",
-    )
-    rows = [
-        [n, m, a, m - a, 2 * float(np.sqrt(max(a * (1 - a), 1e-9) / replicates))]
-        for n, m, a in zip(ns, measured, analytic)
-    ]
-    result.add_table(
-        "curve_points",
-        ["N", "DES measured", "Equation 1", "difference", "2-sigma binomial"],
-        rows,
-        caption=f"{replicates} replicates per point",
-    )
-    worst = max(abs(r[3]) for r in rows)
-    result.note(f"worst |DES - Equation 1| along the curve: {worst:.4f}")
-    return result
+    plan = build_curve_plan(f=f, n_values=n_values, replicates=replicates, seed=seed)
+    return run_plan(plan, executor)
+
+
+def build_plan(
+    n: int = 8,
+    f_values: tuple[int, ...] = (1, 2, 3, 4, 5),
+    replicates: int = 120,
+    seed: int = 2000,
+) -> JobPlan:
+    """Replicate jobs for the empirical-vs-analytic table at one cluster size."""
+    jobs = _replicate_jobs([(n, f) for f in f_values], replicates)
+
+    def reduce(values: dict[str, Any]) -> ExperimentResult:
+        result = ExperimentResult("desvalidation")
+        result.meta = {"seed": seed, "n": n, "f_values": list(f_values), "replicates": replicates}
+        rows = []
+        for f in f_values:
+            measured = _success_rate(values, n, f, replicates)
+            expected = success_probability(n, f)
+            stderr = float(np.sqrt(max(expected * (1 - expected), 1e-9) / replicates))
+            rows.append([n, f, replicates, measured, expected, measured - expected, 2 * stderr])
+        result.add_table(
+            "validation",
+            ["N", "f", "replicates", "DES measured", "Equation 1", "difference", "2-sigma binomial"],
+            rows,
+            caption="Live-protocol survivability vs the analytic model",
+        )
+        worst = max(abs(r[5]) for r in rows)
+        result.note(f"worst |DES - Equation 1| = {worst:.4f} over {len(rows)} (N,f) points")
+        return result
+
+    return JobPlan(experiment="desvalidation", seed=seed, jobs=jobs, reduce=reduce)
 
 
 def run(
@@ -122,31 +201,31 @@ def run(
     f_values: tuple[int, ...] = (1, 2, 3, 4, 5),
     replicates: int = 120,
     seed: int = 2000,
-    workers: int | None = None,
+    executor: Any | None = None,
 ) -> ExperimentResult:
-    """Empirical-vs-analytic comparison table for one cluster size.
+    """Empirical-vs-analytic comparison table for one cluster size."""
+    plan = build_plan(n=n, f_values=f_values, replicates=replicates, seed=seed)
+    return run_plan(plan, executor)
 
-    ``workers=None`` auto-sizes the process pool to the machine when the
-    replicate budget is large enough to amortize worker startup.
-    """
-    if workers is None and replicates >= 60:
-        import os
 
-        workers = min(8, os.cpu_count() or 1)
-    rng = np.random.default_rng(seed)
-    result = ExperimentResult("desvalidation")
-    rows = []
-    for f in f_values:
-        measured = empirical_success(n, f, replicates, rng, workers=workers)
-        expected = success_probability(n, f)
-        stderr = float(np.sqrt(max(expected * (1 - expected), 1e-9) / replicates))
-        rows.append([n, f, replicates, measured, expected, measured - expected, 2 * stderr])
-    result.add_table(
-        "validation",
-        ["N", "f", "replicates", "DES measured", "Equation 1", "difference", "2-sigma binomial"],
-        rows,
-        caption="Live-protocol survivability vs the analytic model",
+register(
+    ExperimentSpec(
+        name="desval",
+        run=run,
+        profiles={"quick": {"replicates": 30, "f_values": (2, 3, 4)}, "full": {}},
+        parallel=True,
+        order=70,
+        description="DES survivability vs Equation 1",
     )
-    worst = max(abs(r[5]) for r in rows)
-    result.note(f"worst |DES - Equation 1| = {worst:.4f} over {len(rows)} (N,f) points")
-    return result
+)
+
+register(
+    ExperimentSpec(
+        name="desval-curve",
+        run=run_curve,
+        profiles={"quick": {"replicates": 25, "n_values": (4, 6, 8)}, "full": {}},
+        parallel=True,
+        order=130,
+        description="live-protocol Figure 2 slice at fixed f",
+    )
+)

@@ -28,6 +28,7 @@ from repro.baselines import (
     install_static_only,
 )
 from repro.drs import DrsConfig, install_drs
+from repro.engine import ExperimentSpec, register
 from repro.experiments.base import ExperimentResult
 from repro.netsim import build_dual_backplane_cluster
 from repro.protocols import install_stacks
@@ -186,3 +187,14 @@ def run(
         "static routing never recovers on the failed network."
     )
     return result
+
+
+register(
+    ExperimentSpec(
+        name="failover",
+        run=run,
+        profiles={"quick": {"post_failure_s": 30.0}, "full": {}},
+        order=60,
+        description="proactive vs reactive outage (DES)",
+    )
+)

@@ -4,16 +4,103 @@ Regenerates the paper's Figure 2: Equation-1 P[Success] versus cluster size
 for f = 2..10 simultaneous failures over the paper's domain f < N < 64,
 optionally overlaid with Monte Carlo estimates from the validation
 simulator.
+
+The Monte Carlo overlay decomposes into one engine job per (f, N) point,
+each with its own seed spawned from ``(seed, "figure2", job name)``.  A
+historical seed-reuse bug threaded one generator sequentially through all
+f-curves, so the ``f=3`` overlay depended on whether ``f=2`` ran first;
+with per-point spawned streams any subset of curves or points reproduces
+the full run, and serial/parallel backends agree bit for bit.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.analysis import simulate_curve, success_curve
+from repro.analysis import simulate_success_probability, success_curve
+from repro.engine import ExperimentSpec, Job, JobPlan, register, run_plan
 from repro.experiments.base import ExperimentResult
 
 F_VALUES = tuple(range(2, 11))
+
+
+def _mc_point(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> float:
+    """Engine job: Monte Carlo P[Success] at one (N, f) grid point."""
+    rng = np.random.default_rng(seed_seq)
+    return simulate_success_probability(params["n"], params["f"], params["iterations"], rng)
+
+
+def build_plan(
+    f_values: tuple[int, ...] = F_VALUES,
+    n_max: int = 63,
+    mc_iterations: int = 0,
+    seed: int = 2000,
+) -> JobPlan:
+    """Decompose Figure 2 into one job per Monte Carlo (f, N) point.
+
+    The Equation-1 curves are closed-form and cheap; they are computed in
+    the reduction rather than shipped as jobs.
+    """
+    jobs = []
+    if mc_iterations > 0:
+        for f in f_values:
+            for n in range(max(2, f + 1), n_max + 1):
+                jobs.append(
+                    Job(
+                        name=f"mc/f={f}/n={n}",
+                        fn=_mc_point,
+                        params={"n": n, "f": f, "iterations": mc_iterations},
+                    )
+                )
+
+    def reduce(values: dict[str, Any]) -> ExperimentResult:
+        result = ExperimentResult("figure2")
+        result.meta = {
+            "seed": seed,
+            "f_values": list(f_values),
+            "n_max": n_max,
+            "mc_iterations": mc_iterations,
+        }
+        curves: dict[str, tuple] = {}
+        for f in f_values:
+            ns, ps = success_curve(f, n_max=n_max)
+            curves[f"f={f}"] = (ns, ps)
+        result.add_series(
+            "equation1",
+            curves,
+            caption="Figure 2: P[Success] vs nodes (Equation 1)",
+            x_label="nodes",
+            y_label="P[Success]",
+        )
+        if mc_iterations > 0:
+            mc_curves: dict[str, tuple] = {}
+            for f in f_values:
+                ns = np.arange(max(2, f + 1), n_max + 1)
+                ps = np.array([values[f"mc/f={f}/n={n}"] for n in ns])
+                mc_curves[f"sim f={f}"] = (ns, ps)
+            result.add_series(
+                "montecarlo",
+                mc_curves,
+                caption=f"Figure 2 overlay: Monte Carlo, {mc_iterations} iterations",
+                x_label="nodes",
+                y_label="P[Success]",
+            )
+        # summary rows the paper quotes in prose
+        rows = []
+        for f in f_values:
+            ns, ps = curves[f"f={f}"]
+            rows.append([f, float(ps[0]), float(ps[-1])])
+        result.add_table(
+            "endpoints",
+            ["f", f"P[S] at N=f+1", f"P[S] at N={n_max}"],
+            rows,
+            caption="Curve endpoints: every f-series climbs toward 1",
+        )
+        return result
+
+    return JobPlan(experiment="figure2", seed=seed, jobs=jobs, reduce=reduce)
 
 
 def run(
@@ -21,52 +108,25 @@ def run(
     n_max: int = 63,
     mc_iterations: int = 0,
     seed: int = 2000,
+    executor: Any | None = None,
 ) -> ExperimentResult:
     """Regenerate Figure 2.
 
     ``mc_iterations > 0`` adds a Monte Carlo overlay series per f (the
-    paper's simulation points).
+    paper's simulation points).  ``executor`` selects the engine backend
+    (default serial); results are executor-independent.
     """
-    result = ExperimentResult("figure2")
-    result.meta = {
-        "seed": seed,
-        "f_values": list(f_values),
-        "n_max": n_max,
-        "mc_iterations": mc_iterations,
-    }
-    curves: dict[str, tuple] = {}
-    for f in f_values:
-        ns, ps = success_curve(f, n_max=n_max)
-        curves[f"f={f}"] = (ns, ps)
-    result.add_series(
-        "equation1",
-        curves,
-        caption="Figure 2: P[Success] vs nodes (Equation 1)",
-        x_label="nodes",
-        y_label="P[Success]",
+    plan = build_plan(f_values=f_values, n_max=n_max, mc_iterations=mc_iterations, seed=seed)
+    return run_plan(plan, executor)
+
+
+register(
+    ExperimentSpec(
+        name="figure2",
+        run=run,
+        profiles={"quick": {"mc_iterations": 2_000}, "full": {"mc_iterations": 20_000}},
+        parallel=True,
+        order=20,
+        description="Fig. 2 P[Success] vs N, f=2..10, with MC overlay",
     )
-    if mc_iterations > 0:
-        rng = np.random.default_rng(seed)
-        mc_curves: dict[str, tuple] = {}
-        for f in f_values:
-            ns, ps = simulate_curve(f, iterations=mc_iterations, rng=rng, n_max=n_max)
-            mc_curves[f"sim f={f}"] = (ns, ps)
-        result.add_series(
-            "montecarlo",
-            mc_curves,
-            caption=f"Figure 2 overlay: Monte Carlo, {mc_iterations} iterations",
-            x_label="nodes",
-            y_label="P[Success]",
-        )
-    # summary rows the paper quotes in prose
-    rows = []
-    for f in f_values:
-        ns, ps = curves[f"f={f}"]
-        rows.append([f, float(ps[0]), float(ps[-1])])
-    result.add_table(
-        "endpoints",
-        ["f", f"P[S] at N=f+1", f"P[S] at N={n_max}"],
-        rows,
-        caption="Curve endpoints: every f-series climbs toward 1",
-    )
-    return result
+)

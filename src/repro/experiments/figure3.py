@@ -5,17 +5,104 @@ difference between the Monte Carlo estimate and Equation 1 over f < N < 64,
 as a function of iteration count (log10 x-axis).  The paper's stated
 checkpoint: with 1,000 iterations the deviation is below ~0.01 for every f,
 and it converges toward zero.
+
+Each (f, iteration-count) grid cell is one engine job with an independently
+spawned stream, so cells are reproducible in isolation and the grid runs on
+any executor backend with identical output.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.analysis import convergence_study
+from repro.analysis import mean_absolute_deviation
+from repro.analysis.convergence import ConvergenceStudy
+from repro.engine import ExperimentSpec, Job, JobPlan, register, run_plan
 from repro.experiments.base import ExperimentResult
+from repro.simkit.rng import seed_fingerprint
 
 ITERATION_GRID = (10, 30, 100, 300, 1_000, 3_000, 10_000)
 F_VALUES = tuple(range(2, 11))
+
+
+def _mad_cell(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> float:
+    """Engine job: MAD over the N domain for one (f, iterations) cell."""
+    # mean_absolute_deviation spawns per-N children from an integer seed;
+    # fingerprint this job's spawned sequence to stay inside that contract.
+    return mean_absolute_deviation(
+        params["f"],
+        params["iterations"],
+        n_max=params["n_max"],
+        seed=seed_fingerprint(seed_seq),
+    )
+
+
+def build_plan(
+    f_values: tuple[int, ...] = F_VALUES,
+    iteration_grid: tuple[int, ...] = ITERATION_GRID,
+    n_max: int = 63,
+    seed: int = 2000,
+) -> JobPlan:
+    """One job per (f, iteration-count) cell of the convergence grid."""
+    jobs = [
+        Job(
+            name=f"mad/f={f}/iters={iters}",
+            fn=_mad_cell,
+            params={"f": f, "iterations": iters, "n_max": n_max},
+        )
+        for f in f_values
+        for iters in iteration_grid
+    ]
+
+    def reduce(values: dict[str, Any]) -> ExperimentResult:
+        mad = np.array(
+            [[values[f"mad/f={f}/iters={iters}"] for iters in iteration_grid] for f in f_values]
+        )
+        study = ConvergenceStudy(
+            f_values=tuple(f_values), iteration_grid=tuple(iteration_grid), mad=mad
+        )
+        result = ExperimentResult("figure3")
+        result.meta = {
+            "seed": seed,
+            "f_values": list(f_values),
+            "iteration_grid": list(iteration_grid),
+            "n_max": n_max,
+        }
+        curves = {
+            f"f={f}": (np.array(iteration_grid, dtype=float), study.series(f))
+            for f in f_values
+        }
+        result.add_series(
+            "mad",
+            curves,
+            caption="Figure 3: mean |simulation - Equation 1| over f<N<64",
+            x_label="iterations",
+            y_label="mean absolute deviation",
+            x_log=True,
+        )
+        if 1_000 in iteration_grid:
+            column = iteration_grid.index(1_000)
+            rows = [[f, float(study.mad[i, column])] for i, f in enumerate(f_values)]
+            result.add_table(
+                "at_1000_iterations",
+                ["f", "MAD at 1,000 iterations"],
+                rows,
+                caption="Paper checkpoint: MAD < ~0.01 at 1,000 iterations for every f",
+            )
+            worst = max(float(study.mad[i, column]) for i in range(len(f_values)))
+            result.note(f"worst-case MAD at 1,000 iterations: {worst:.5f} (paper bound ~0.01)")
+        # slope check: MC error should shrink ~ 1/sqrt(iterations)
+        first, last = study.mad[:, 0].mean(), study.mad[:, -1].mean()
+        expected_ratio = (iteration_grid[-1] / iteration_grid[0]) ** 0.5
+        result.note(
+            f"mean MAD shrank {first / last:.1f}x from {iteration_grid[0]} to "
+            f"{iteration_grid[-1]} iterations (1/sqrt scaling predicts ~{expected_ratio:.1f}x)"
+        )
+        return result
+
+    return JobPlan(experiment="figure3", seed=seed, jobs=jobs, reduce=reduce)
 
 
 def run(
@@ -23,45 +110,20 @@ def run(
     iteration_grid: tuple[int, ...] = ITERATION_GRID,
     n_max: int = 63,
     seed: int = 2000,
+    executor: Any | None = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 3."""
-    rng = np.random.default_rng(seed)
-    study = convergence_study(list(f_values), list(iteration_grid), rng, n_max=n_max)
-    result = ExperimentResult("figure3")
-    result.meta = {
-        "seed": seed,
-        "f_values": list(f_values),
-        "iteration_grid": list(iteration_grid),
-        "n_max": n_max,
-    }
-    curves = {
-        f"f={f}": (np.array(iteration_grid, dtype=float), study.series(f))
-        for f in f_values
-    }
-    result.add_series(
-        "mad",
-        curves,
-        caption="Figure 3: mean |simulation - Equation 1| over f<N<64",
-        x_label="iterations",
-        y_label="mean absolute deviation",
-        x_log=True,
+    """Regenerate Figure 3 (executor-independent for a given seed)."""
+    plan = build_plan(f_values=f_values, iteration_grid=iteration_grid, n_max=n_max, seed=seed)
+    return run_plan(plan, executor)
+
+
+register(
+    ExperimentSpec(
+        name="figure3",
+        run=run,
+        profiles={"quick": {"iteration_grid": (10, 100, 1_000), "n_max": 40}, "full": {}},
+        parallel=True,
+        order=30,
+        description="Fig. 3 MC convergence (MAD vs iterations)",
     )
-    if 1_000 in iteration_grid:
-        column = iteration_grid.index(1_000)
-        rows = [[f, float(study.mad[i, column])] for i, f in enumerate(f_values)]
-        result.add_table(
-            "at_1000_iterations",
-            ["f", "MAD at 1,000 iterations"],
-            rows,
-            caption="Paper checkpoint: MAD < ~0.01 at 1,000 iterations for every f",
-        )
-        worst = max(float(study.mad[i, column]) for i in range(len(f_values)))
-        result.note(f"worst-case MAD at 1,000 iterations: {worst:.5f} (paper bound ~0.01)")
-    # slope check: MC error should shrink ~ 1/sqrt(iterations)
-    first, last = study.mad[:, 0].mean(), study.mad[:, -1].mean()
-    expected_ratio = (iteration_grid[-1] / iteration_grid[0]) ** 0.5
-    result.note(
-        f"mean MAD shrank {first / last:.1f}x from {iteration_grid[0]} to "
-        f"{iteration_grid[-1]} iterations (1/sqrt scaling predicts ~{expected_ratio:.1f}x)"
-    )
-    return result
+)

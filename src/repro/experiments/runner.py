@@ -5,12 +5,21 @@ Usage::
     drs-experiments                      # run everything into ./results
     drs-experiments figure2 crossovers   # a subset
     drs-experiments --quick              # reduced iteration counts
+    drs-experiments --quick --jobs 4     # sweeps fan out over 4 processes
     drs-experiments --out /tmp/results
+
+The experiments come from the declarative registry in :mod:`repro.engine`:
+each :mod:`repro.experiments.*` module registers an
+:class:`~repro.engine.ExperimentSpec` with ``quick``/``full`` parameter
+profiles, and sweep-style experiments decompose into independent jobs with
+deterministic spawned seeds — so ``--jobs N`` changes wall time, never
+results.
 
 Every experiment also writes a run manifest (``<name>.manifest.json``) and a
 metrics snapshot (``<name>.metrics.jsonl`` + ``.prom``) next to its results,
 so ``results/`` directories are reproducible and diffable; disable with
-``--no-metrics``.  ``repro obs results/`` pretty-prints the artifacts.
+``--no-metrics``.  Manifests record the engine backend, worker count, and
+per-job seeds.  ``repro obs results/`` pretty-prints the artifacts.
 """
 
 from __future__ import annotations
@@ -19,8 +28,9 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable
 
+import repro.experiments  # noqa: F401  — importing registers every ExperimentSpec
+from repro.engine import experiment_specs, make_executor
 from repro.obs import (
     MetricsRegistry,
     RunManifest,
@@ -30,61 +40,6 @@ from repro.obs import (
     write_metrics_files,
 )
 from repro.obs.progress import ProgressReporter, set_heartbeat
-
-from repro.experiments import (
-    ablations,
-    availability,
-    crossovers,
-    desvalidation,
-    failover,
-    figure1,
-    figure2,
-    figure3,
-    grayfailure,
-    motivation,
-    scaling,
-    scenariosuite,
-    wholecluster,
-)
-from repro.experiments.base import ExperimentResult
-
-
-def _registry(quick: bool) -> dict[str, Callable[[], ExperimentResult]]:
-    if quick:
-        return {
-            "figure1": lambda: figure1.run(n_max=100, validate_des=True, des_nodes=6),
-            "figure2": lambda: figure2.run(mc_iterations=2_000),
-            "figure3": lambda: figure3.run(iteration_grid=(10, 100, 1_000), n_max=40),
-            "crossovers": crossovers.run,
-            "motivation": lambda: motivation.run(fleet_years=5),
-            "failover": lambda: failover.run(post_failure_s=30.0),
-            "desval": lambda: desvalidation.run(replicates=30, f_values=(2, 3, 4)),
-            "ablations": lambda: ablations.run(
-                n_values=(8, 32), mc_iterations=20_000, sweep_periods=(0.5, 2.0)
-            ),
-            "grayfailure": lambda: grayfailure.run(loss_rates=(0.0, 0.05), retry_values=(1, 2), sim_seconds=30.0),
-            "wholecluster": lambda: wholecluster.run(mc_iterations=10_000),
-            "availability": lambda: availability.run(n_values=(4, 16), mc_iterations=30_000),
-            "scenarios": scenariosuite.run,
-            "desval-curve": lambda: desvalidation.run_curve(replicates=25, n_values=(4, 6, 8)),
-            "scaling": lambda: scaling.run(n_values=(4, 8, 12)),
-        }
-    return {
-        "figure1": figure1.run,
-        "figure2": lambda: figure2.run(mc_iterations=20_000),
-        "figure3": figure3.run,
-        "crossovers": crossovers.run,
-        "motivation": motivation.run,
-        "failover": failover.run,
-        "desval": desvalidation.run,
-        "ablations": ablations.run,
-        "grayfailure": grayfailure.run,
-        "wholecluster": wholecluster.run,
-        "availability": availability.run,
-        "scenarios": scenariosuite.run,
-        "desval-curve": desvalidation.run_curve,
-        "scaling": scaling.run,
-    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,6 +51,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("names", nargs="*", help="experiments to run (default: all)")
     parser.add_argument("--out", default="results", help="output directory (default: ./results)")
     parser.add_argument("--quick", action="store_true", help="reduced iteration counts")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep experiments (1 = serial, 0 = all cores)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="override every seed-taking experiment's root seed",
+    )
     parser.add_argument("--html", action="store_true", help="also write a combined results/index.html")
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument(
@@ -112,16 +81,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    registry = _registry(args.quick)
+    specs = experiment_specs()
+    registry = {spec.name: spec for spec in specs}
     if args.list:
-        for name in registry:
-            print(name)
+        for spec in specs:
+            print(f"{spec.name:14s} {spec.description}" if spec.description else spec.name)
         return 0
     names = args.names or list(registry)
     unknown = [n for n in names if n not in registry]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}; have {', '.join(registry)}")
+    try:
+        executor = make_executor(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
 
+    profile = "quick" if args.quick else "full"
     out_dir = Path(args.out)
     results = []
     if not args.no_metrics:
@@ -129,6 +104,12 @@ def main(argv: list[str] | None = None) -> int:
         # run() publishes into whichever registry is current at the time.
         install_profiling()
     for name in names:
+        spec = registry[name]
+        kwargs = spec.kwargs(profile)
+        if args.seed is not None and spec.accepts_seed:
+            kwargs["seed"] = args.seed
+        if spec.parallel:
+            kwargs["executor"] = executor
         started = time.perf_counter()
         print(f"[drs-experiments] running {name} ...", flush=True)
         metrics = ensure_core_metrics(MetricsRegistry())
@@ -136,7 +117,7 @@ def main(argv: list[str] | None = None) -> int:
         set_heartbeat(reporter)
         try:
             with use_registry(metrics):
-                result = registry[name]()
+                result = spec.run(**kwargs)
         finally:
             set_heartbeat(None)
         results.append(result)
@@ -151,6 +132,8 @@ def main(argv: list[str] | None = None) -> int:
                 wall_seconds=elapsed,
                 event_count=int(metrics.counter("sim_events_total").value),
                 heartbeat=reporter.summary() if reporter is not None else None,
+                backend=executor.name if spec.parallel else "direct",
+                workers=executor.workers if spec.parallel else 1,
             )
             manifest.write(out_dir / f"{name}.manifest.json")
             write_metrics_files(metrics, out_dir, name)

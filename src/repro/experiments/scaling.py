@@ -12,9 +12,12 @@ and reports, at a fixed sweep period:
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.drs import DrsConfig, install_drs
+from repro.engine import ExperimentSpec, Job, JobPlan, register, run_plan
 from repro.experiments.base import ExperimentResult
 from repro.netsim import build_dual_backplane_cluster
 from repro.protocols import install_stacks
@@ -51,44 +54,94 @@ def measure_point(n: int, sweep_period_s: float = 0.5, repeats: int = 3) -> tupl
     return (float(np.mean(latencies)) if latencies else float("nan"), load / repeats)
 
 
+def _size_point(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> tuple[float, float]:
+    """Engine job: latency + probe load at one cluster size (deterministic DES)."""
+    return measure_point(params["n"], params["sweep_period_s"])
+
+
+def build_plan(
+    n_values: tuple[int, ...] = (4, 8, 12, 16, 24),
+    sweep_period_s: float = 0.5,
+    detection_target_s: float = 1.0,
+    budget_cap: float = 0.15,
+    seed: int = 0,
+) -> JobPlan:
+    """One DES job per cluster size; the feasibility boundary reduces."""
+    jobs = [
+        Job(name=f"size/n={n}", fn=_size_point, params={"n": n, "sweep_period_s": sweep_period_s})
+        for n in n_values
+    ]
+
+    def reduce(values: dict[str, Any]) -> ExperimentResult:
+        result = ExperimentResult("scaling")
+        result.meta = {
+            "seed": seed,
+            "n_values": list(n_values),
+            "sweep_period_s": sweep_period_s,
+            "detection_target_s": detection_target_s,
+            "budget_cap": budget_cap,
+        }
+        rows = []
+        for n in n_values:
+            latency, load = values[f"size/n={n}"]
+            rows.append([n, latency, load])
+        result.add_table(
+            "scaling",
+            ["N", "detect+repair (s)", "probe load (fraction of both segments)"],
+            rows,
+            caption=f"Fixed sweep {sweep_period_s}s across cluster sizes (deployed range: 8-12)",
+        )
+        latencies = [r[1] for r in rows]
+        result.note(
+            f"failover latency is size-independent ({min(latencies):.2f}-{max(latencies):.2f} s "
+            f"across N={n_values[0]}..{n_values[-1]}) while probe load grows ~N^2 — "
+            "exactly the Figure-1 economics"
+        )
+        # feasibility boundary for the paper's budget cap
+        feasible = []
+        n = 2
+        while True:
+            try:
+                DrsConfig.for_deployment(n, detection_target_s, budget_cap)
+                feasible.append(n)
+                n += 1
+            except ValueError:
+                break
+        result.add_table(
+            "feasibility",
+            ["detection target (s)", "budget cap", "largest feasible N"],
+            [[detection_target_s, f"{budget_cap:.0%}", feasible[-1] if feasible else 0]],
+            caption="DrsConfig.for_deployment boundary (cf. Figure 1 read-off)",
+        )
+        return result
+
+    return JobPlan(experiment="scaling", seed=seed, jobs=jobs, reduce=reduce)
+
+
 def run(
     n_values: tuple[int, ...] = (4, 8, 12, 16, 24),
     sweep_period_s: float = 0.5,
     detection_target_s: float = 1.0,
     budget_cap: float = 0.15,
+    executor: Any | None = None,
 ) -> ExperimentResult:
     """Scaling table plus the feasibility boundary."""
-    result = ExperimentResult("scaling")
-    rows = []
-    for n in n_values:
-        latency, load = measure_point(n, sweep_period_s)
-        rows.append([n, latency, load])
-    result.add_table(
-        "scaling",
-        ["N", "detect+repair (s)", "probe load (fraction of both segments)"],
-        rows,
-        caption=f"Fixed sweep {sweep_period_s}s across cluster sizes (deployed range: 8-12)",
+    plan = build_plan(
+        n_values=n_values,
+        sweep_period_s=sweep_period_s,
+        detection_target_s=detection_target_s,
+        budget_cap=budget_cap,
     )
-    latencies = [r[1] for r in rows]
-    result.note(
-        f"failover latency is size-independent ({min(latencies):.2f}-{max(latencies):.2f} s "
-        f"across N={n_values[0]}..{n_values[-1]}) while probe load grows ~N^2 — "
-        "exactly the Figure-1 economics"
+    return run_plan(plan, executor)
+
+
+register(
+    ExperimentSpec(
+        name="scaling",
+        run=run,
+        profiles={"quick": {"n_values": (4, 8, 12)}, "full": {}},
+        parallel=True,
+        order=140,
+        description="deployed-range size sweep + feasibility boundary",
     )
-    # feasibility boundary for the paper's budget cap
-    feasible = []
-    n = 2
-    while True:
-        try:
-            DrsConfig.for_deployment(n, detection_target_s, budget_cap)
-            feasible.append(n)
-            n += 1
-        except ValueError:
-            break
-    result.add_table(
-        "feasibility",
-        ["detection target (s)", "budget cap", "largest feasible N"],
-        [[detection_target_s, f"{budget_cap:.0%}", feasible[-1] if feasible else 0]],
-        caption="DrsConfig.for_deployment boundary (cf. Figure 1 read-off)",
-    )
-    return result
+)

@@ -285,6 +285,47 @@ class MetricsRegistry:
         for _name, _labels, _kind, obj in self:
             obj.reset()
 
+    # ---------------------------------------------------------------- merging
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's state into this one; returns ``self``.
+
+        The parallel experiment executor gives each worker process a private
+        registry (the simulator is single-threaded per process and registries
+        are lock-free) and merges them back here.  Semantics per kind:
+
+        * counters: values and event counts add,
+        * gauges: values add (the throughput gauges are per-worker rates, so
+          their sum is the aggregate rate),
+        * histograms: bucket counts, count, and sum add; min/max combine
+          (bucket bounds must match, else the streams are not comparable).
+
+        ``other`` is left untouched; merging the same registry twice
+        double-counts, exactly like Prometheus federation would.
+        """
+        for (name, labels), entry in other._metrics.items():
+            kind, obj = entry["kind"], entry["obj"]
+            label_dict = dict(labels) or None
+            if kind == "counter":
+                mine = self.counter(name, label_dict, help=entry["help"])
+                mine.value += obj.value
+                mine.events += obj.events
+            elif kind == "gauge":
+                mine = self.gauge(name, label_dict, help=entry["help"])
+                mine.value += obj.value
+            else:
+                mine = self.histogram(name, buckets=obj.bounds, labels=label_dict, help=entry["help"])
+                if mine.bounds != obj.bounds:
+                    raise ValueError(
+                        f"cannot merge histogram {name!r}: bucket bounds differ "
+                        f"({mine.bounds} vs {obj.bounds})"
+                    )
+                mine.counts = [a + b for a, b in zip(mine.counts, obj.counts)]
+                mine.count += obj.count
+                mine.sum += obj.sum
+                mine.min = min(mine.min, obj.min)
+                mine.max = max(mine.max, obj.max)
+        return self
+
 
 def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:

@@ -53,6 +53,17 @@ class ProgressReporter:
         if now - self._last_emit >= self.interval_s:
             self.emit(now=now)
 
+    def absorb(self, summary: dict) -> None:
+        """Fold a worker reporter's :meth:`summary` into this one.
+
+        The parallel executor runs a silent collector reporter in every
+        worker process; the parent absorbs each returned summary so its own
+        heartbeat line (and the manifest summary) reflects fleet-wide trials
+        and incident counts rather than just the coordinating process.
+        """
+        self.add(int(summary.get("trials", 0)), **summary.get("counts", {}))
+        self.heartbeats += int(summary.get("heartbeats", 0))
+
     # ----------------------------------------------------------------- output
     def _format(self, elapsed: float, final: bool) -> str:
         rate = self.trials / elapsed if elapsed > 0 else 0.0

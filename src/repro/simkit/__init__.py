@@ -24,7 +24,7 @@ from repro.simkit.errors import SimulationError, ScheduleInPastError, StoppedSim
 from repro.simkit.events import Event, EventQueue
 from repro.simkit.simulator import SimProfile, Simulator, set_auto_profile
 from repro.simkit.process import Process, Signal, Timeout
-from repro.simkit.rng import RngRegistry
+from repro.simkit.rng import RngRegistry, seed_fingerprint, spawn_seedseq, spawned_rng
 from repro.simkit.trace import Counter, TimeWeightedValue, TraceRecorder, TraceEntry
 
 __all__ = [
@@ -37,6 +37,9 @@ __all__ = [
     "Signal",
     "Timeout",
     "RngRegistry",
+    "spawn_seedseq",
+    "spawned_rng",
+    "seed_fingerprint",
     "Counter",
     "TimeWeightedValue",
     "TraceRecorder",

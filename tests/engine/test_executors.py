@@ -1,0 +1,129 @@
+"""Serial and process-pool executors agree on values and aggregate telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Job,
+    JobError,
+    JobPlan,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    run_plan,
+)
+from repro.obs.metrics import MetricsRegistry, ensure_core_metrics, use_registry
+from repro.obs.progress import ProgressReporter, set_heartbeat
+
+
+def _draw(params, seed_seq):
+    """Module-level (picklable) job: a few deterministic draws + metrics."""
+    from repro.obs.metrics import current_registry
+    from repro.obs.progress import heartbeat
+
+    current_registry().counter("mc_iterations_total").add(params["k"])
+    hb = heartbeat()
+    if hb is not None:
+        hb.add(params["k"])
+    return np.random.default_rng(seed_seq).random(params["k"]).sum()
+
+
+def _boom(params, seed_seq):
+    raise RuntimeError("kaput")
+
+
+def _plan(names=("a", "b", "c", "d", "e"), seed=3, k=4):
+    jobs = [Job(name=n, fn=_draw, params={"k": k}) for n in names]
+    return JobPlan(experiment="toy", seed=seed, jobs=jobs, reduce=lambda v: v)
+
+
+def test_serial_and_parallel_values_identical():
+    serial = SerialExecutor().run(_plan())
+    parallel = ParallelExecutor(workers=2).run(_plan())
+    assert serial.values == parallel.values
+    assert serial.backend == "serial"
+    assert parallel.backend == "process-pool"
+    assert parallel.workers == 2
+
+
+def test_values_independent_of_worker_count_and_chunking():
+    baseline = SerialExecutor().run(_plan()).values
+    for workers, chunks in ((2, 1), (2, 4), (3, 2)):
+        got = ParallelExecutor(workers=workers, chunks_per_worker=chunks).run(_plan()).values
+        assert got == baseline
+
+
+def test_execution_reports_job_seeds():
+    plan = _plan()
+    execution = SerialExecutor().run(plan)
+    assert execution.job_seeds == plan.job_seeds()
+    assert set(execution.job_seeds) == {"a", "b", "c", "d", "e"}
+
+
+def test_parallel_merges_worker_metrics_and_heartbeats():
+    registry = ensure_core_metrics(MetricsRegistry())
+    reporter = ProgressReporter("toy", interval_s=1e12)
+    set_heartbeat(reporter)
+    try:
+        with use_registry(registry):
+            ParallelExecutor(workers=2).run(_plan(k=5))
+    finally:
+        set_heartbeat(None)
+    # 5 jobs x 5 iterations each, merged across workers
+    assert registry.counter("mc_iterations_total").value == 25
+    summary = reporter.summary()
+    assert summary["trials"] == 25
+    assert summary["counts"]["jobs"] == 5
+
+
+def test_serial_job_failure_carries_attribution():
+    plan = JobPlan(
+        experiment="toy",
+        seed=0,
+        jobs=[Job("ok", _draw, {"k": 1}), Job("bad", _boom)],
+        reduce=lambda v: v,
+    )
+    with pytest.raises(JobError, match="'bad' of experiment 'toy'"):
+        SerialExecutor().run(plan)
+
+
+def test_parallel_job_failure_propagates():
+    plan = JobPlan(experiment="toy", seed=0, jobs=[Job("bad", _boom)], reduce=lambda v: v)
+    with pytest.raises(JobError, match="'bad'"):
+        ParallelExecutor(workers=2).run(plan)
+
+
+def test_run_plan_reduces_and_stamps_engine_meta():
+    class Result:
+        def __init__(self, values):
+            self.values = values
+            self.meta = {}
+
+    plan = JobPlan(experiment="toy", seed=9, jobs=[Job("a", _draw, {"k": 2})], reduce=Result)
+    result = run_plan(plan)
+    assert set(result.values) == {"a"}
+    engine = result.meta["engine"]
+    assert engine["backend"] == "serial"
+    assert engine["jobs"] == 1
+    assert engine["root_seed"] == 9
+    assert engine["job_seeds"] == plan.job_seeds()
+
+
+def test_make_executor_mapping():
+    assert isinstance(make_executor(None), SerialExecutor)
+    assert isinstance(make_executor(1), SerialExecutor)
+    pool = make_executor(3)
+    assert isinstance(pool, ParallelExecutor)
+    assert pool.workers == 3
+    assert make_executor(0).workers >= 1  # "all cores", serial on 1-core hosts
+    with pytest.raises(ValueError):
+        make_executor(-2)
+
+
+def test_chunking_covers_all_jobs_exactly_once():
+    executor = ParallelExecutor(workers=2, chunks_per_worker=2)
+    jobs = [Job(name=f"j{i}", fn=_draw, params={"k": 1}) for i in range(11)]
+    chunks = executor._chunk(jobs)
+    flat = [job.name for chunk in chunks for job in chunk]
+    assert flat == [f"j{i}" for i in range(11)]
+    assert executor._chunk([]) == []

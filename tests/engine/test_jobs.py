@@ -1,0 +1,47 @@
+"""JobPlan invariants and the per-job seeding contract."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Job, JobPlan
+from repro.simkit.rng import seed_fingerprint, spawn_seedseq
+
+
+def _value(params, seed_seq):
+    return params
+
+
+def _plan(names, seed=11):
+    jobs = [Job(name=n, fn=_value, params={"n": n}) for n in names]
+    return JobPlan(experiment="toy", seed=seed, jobs=jobs, reduce=lambda values: values)
+
+
+def test_duplicate_job_names_rejected():
+    with pytest.raises(ValueError, match="duplicate job names"):
+        _plan(["a", "b", "a"])
+
+
+def test_job_seedseq_matches_spawn_contract():
+    plan = _plan(["a", "b"])
+    seq = plan.job_seedseq(plan.jobs[0])
+    expected = spawn_seedseq(11, "toy", "a")
+    assert seed_fingerprint(seq) == seed_fingerprint(expected)
+
+
+def test_job_seeds_independent_of_plan_composition():
+    # the same job in a bigger plan keeps the same seed: subsets reproduce slices
+    small = _plan(["a"])
+    big = _plan(["c", "b", "a"])
+    assert small.job_seeds()["a"] == big.job_seeds()["a"]
+
+
+def test_job_seeds_differ_across_experiments():
+    a = JobPlan(experiment="exp1", seed=5, jobs=[Job("j", _value)], reduce=dict)
+    b = JobPlan(experiment="exp2", seed=5, jobs=[Job("j", _value)], reduce=dict)
+    assert a.job_seeds()["j"] != b.job_seeds()["j"]
+
+
+def test_job_seedseq_yields_working_generator():
+    plan = _plan(["a"])
+    rng = np.random.default_rng(plan.job_seedseq(plan.jobs[0]))
+    assert 0.0 <= rng.random() < 1.0

@@ -1,0 +1,73 @@
+"""Cross-process observability aggregation: registry merge + heartbeat absorb."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, ensure_core_metrics
+from repro.obs.progress import ProgressReporter
+
+
+def test_merge_counters_adds_values_and_events():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("hits").add(3)
+    b.counter("hits").add(4)
+    b.counter("only_b").add(2)
+    a.merge(b)
+    assert a.counter("hits").value == 7
+    assert a.counter("only_b").value == 2
+
+
+def test_merge_gauges_adds():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.gauge("inflight").set(2)
+    b.gauge("inflight").set(5)
+    a.merge(b)
+    assert a.gauge("inflight").value == 7
+
+
+def test_merge_histograms_combines_counts_and_extremes():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    bounds = (0.1, 1.0, 10.0)
+    ha = a.histogram("latency", buckets=bounds)
+    hb = b.histogram("latency", buckets=bounds)
+    ha.observe(0.05)
+    hb.observe(5.0)
+    hb.observe(20.0)
+    a.merge(b)
+    merged = a.histogram("latency", buckets=bounds)
+    assert merged.count == 3
+    assert merged.min == 0.05
+    assert merged.max == 20.0
+    assert merged.sum == pytest.approx(25.05)
+
+
+def test_merge_histogram_bounds_mismatch_rejected():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("latency", buckets=(1.0, 2.0))
+    b.histogram("latency", buckets=(1.0, 5.0)).observe(1.5)
+    with pytest.raises(ValueError, match="bucket bounds"):
+        a.merge(b)
+
+
+def test_merge_core_registries_round_trips():
+    parent = ensure_core_metrics(MetricsRegistry())
+    worker = ensure_core_metrics(MetricsRegistry())
+    worker.counter("sim_events_total").add(100)
+    parent.merge(worker)
+    assert parent.counter("sim_events_total").value == 100
+
+
+def test_absorb_folds_worker_summary_into_parent():
+    parent = ProgressReporter("run", interval_s=1e12)
+    parent.add(10, jobs=1)
+    worker = ProgressReporter("run", interval_s=1e12)
+    worker.add(25, pair_down=2)
+    parent.absorb(worker.summary())
+    summary = parent.summary()
+    assert summary["trials"] == 35
+    assert summary["counts"] == {"jobs": 1, "pair_down": 2}
+
+
+def test_absorb_tolerates_minimal_summary():
+    parent = ProgressReporter("run", interval_s=1e12)
+    parent.absorb({})
+    assert parent.summary()["trials"] == 0
