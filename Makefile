@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -50,9 +50,24 @@ quick-parallel:
 	done
 	@echo "quick-parallel: OK (serial and process-pool outputs identical)"
 
+# fault-tolerance smoke: run a quick sweep, SIGKILL it mid-checkpoint (the
+# engine's DRS_ENGINE_CRASH_AFTER injection hook), resume it, and prove the
+# resumed CSVs are byte-identical to an uninterrupted run
+quick-resume:
+	rm -rf results-resume /tmp/drs-resume-check
+	$(PYTHON) -m repro.experiments.runner --quick figure2 --out /tmp/drs-resume-check
+	-DRS_ENGINE_CRASH_AFTER=50 $(PYTHON) -m repro.experiments.runner --quick figure2 --out results-resume
+	test -f results-resume/figure2.checkpoint.jsonl
+	test ! -f results-resume/figure2_montecarlo.csv
+	$(PYTHON) -m repro.experiments.runner --resume results-resume
+	@for f in figure2_equation1 figure2_montecarlo figure2_endpoints; do \
+		cmp results-resume/$$f.csv /tmp/drs-resume-check/$$f.csv || exit 1; \
+	done
+	@echo "quick-resume: OK (killed + resumed run byte-identical to uninterrupted)"
+
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
 
 clean:
-	rm -rf results .pytest_cache src/repro.egg-info
+	rm -rf results results-parallel results-resume .pytest_cache src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -36,12 +36,12 @@ class ProportionEstimate:
 
 
 #: two-sided z for common confidence levels (no scipy needed at runtime)
-_Z_TABLE = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+_Z_TABLE = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758, 0.999: 3.2905}
 
 
 def _z_for(confidence: float) -> float:
     try:
-        return _Z_TABLE[round(confidence, 2)]
+        return _Z_TABLE[round(confidence, 3)]
     except KeyError:
         raise ValueError(f"confidence must be one of {sorted(_Z_TABLE)}, got {confidence}") from None
 

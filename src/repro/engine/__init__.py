@@ -14,19 +14,32 @@ with cores while staying bit-for-bit reproducible from one integer seed:
   which merges per-worker metrics registries and heartbeat counts back into
   the parent run.
 
+Fault tolerance rides on top (``drs-experiments --retries/--resume``):
+:mod:`repro.engine.retry` gives both executors per-job retry budgets,
+deterministic backoff, timeouts, and quarantine;
+:mod:`repro.engine.checkpoint` streams completed jobs to a crash-safe
+JSONL so an interrupted sweep resumes without repeating finished work.
+
 See ``docs/engine.md`` for the seed-spawning contract and worked examples.
 """
 
 from typing import Any
 
+from repro.engine.checkpoint import Checkpoint, CheckpointRecord
 from repro.engine.executors import (
-    JobError,
     ParallelExecutor,
     PlanExecution,
     SerialExecutor,
     make_executor,
 )
 from repro.engine.jobs import Job, JobFn, JobPlan
+from repro.engine.retry import (
+    FAIL_FAST,
+    JobError,
+    JobOutcome,
+    JobTimeoutError,
+    RetryPolicy,
+)
 from repro.engine.spec import (
     ExperimentSpec,
     experiment_specs,
@@ -36,17 +49,25 @@ from repro.engine.spec import (
 )
 
 
-def run_plan(plan: JobPlan, executor: Any | None = None) -> Any:
+def run_plan(
+    plan: JobPlan, executor: Any | None = None, checkpoint: Checkpoint | None = None
+) -> Any:
     """Execute a plan on an executor (default serial) and reduce the values.
+
+    With a ``checkpoint``, jobs it already holds are skipped and every newly
+    completed job is streamed into it (crash-safe), which is what backs
+    ``drs-experiments --resume``.
 
     The reduced result's ``meta`` — when it has one, as every
     :class:`~repro.experiments.base.ExperimentResult` does — gains an
     ``engine`` section recording backend, worker count, job count, root
-    seed, and the per-job seed fingerprints, which the runner folds into the
-    run manifest.
+    seed, the per-job seed fingerprints, and the fault-tolerance tallies
+    (attempts per executed job, total retries, quarantined/timed-out job
+    names, jobs resumed from checkpoint, pool respawns), which the runner
+    folds into the run manifest.
     """
     executor = executor if executor is not None else SerialExecutor()
-    execution = executor.run(plan)
+    execution = executor.run(plan, checkpoint=checkpoint)
     result = plan.reduce(execution.values)
     meta = getattr(result, "meta", None)
     if isinstance(meta, dict):
@@ -56,6 +77,12 @@ def run_plan(plan: JobPlan, executor: Any | None = None) -> Any:
             "jobs": len(plan.jobs),
             "root_seed": plan.seed,
             "job_seeds": execution.job_seeds,
+            "attempts": execution.attempts,
+            "retries": execution.retries,
+            "quarantined": sorted(execution.quarantined),
+            "timed_out": sorted(execution.timed_out),
+            "resumed": sorted(execution.resumed),
+            "pool_respawns": execution.pool_respawns,
         }
     return result
 
@@ -70,6 +97,12 @@ __all__ = [
     "JobFn",
     "JobPlan",
     "JobError",
+    "JobTimeoutError",
+    "JobOutcome",
+    "RetryPolicy",
+    "FAIL_FAST",
+    "Checkpoint",
+    "CheckpointRecord",
     "SerialExecutor",
     "ParallelExecutor",
     "PlanExecution",

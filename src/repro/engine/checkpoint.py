@@ -1,0 +1,227 @@
+"""Crash-safe checkpointing of completed job results.
+
+A long sweep streams every finished job into ``<run>/<name>.checkpoint.jsonl``
+— one JSON record per job, the whole file rewritten via write-temp-then-
+``os.replace`` on each append, so the on-disk artifact is a valid JSONL
+snapshot at every instant, even through ``SIGKILL``.  ``drs-experiments
+--resume <run>`` feeds the file back through :meth:`Checkpoint.load`, which
+keeps only records that still match the rebuilt plan (same experiment, same
+root seed, same per-job spawned-seed fingerprint) — so a checkpoint taken
+under one seed can never contaminate a run under another.
+
+Because job values are deterministic functions of ``(root seed, experiment,
+job name)`` (the engine's seed-spawning contract), a resumed run that skips
+checkpointed jobs reduces to byte-identical final CSVs versus an
+uninterrupted run.  Values round-trip through JSON exactly: Python floats
+serialize shortest-round-trip, and the only non-JSON-native job value types
+(tuples, NumPy scalars/arrays) are tagged by :func:`encode_value` /
+:func:`decode_value`.
+
+Fault injection for tests and CI: setting ``DRS_ENGINE_CRASH_AFTER=<k>``
+SIGKILLs the process right after the ``k``-th record is persisted — the
+``make quick-resume`` target uses it to prove the interrupted+resumed run
+matches an uninterrupted one byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.obs.artifacts import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.jobs import JobPlan
+    from repro.engine.retry import JobOutcome
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Test/CI-only fault injection: SIGKILL self after this many persisted records.
+CRASH_AFTER_ENV = "DRS_ENGINE_CRASH_AFTER"
+
+_records_persisted = 0  # process-wide, for the injection hook only
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-safe form of a job value, tagging tuples and NumPy types.
+
+    Raises ``TypeError`` for values with no faithful JSON round-trip; the
+    checkpoint then simply skips that job (it reruns on resume) rather
+    than corrupting the record stream.
+    """
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, dict):
+        if any(not isinstance(k, str) for k in value):
+            raise TypeError("checkpointable dict values need string keys")
+        if "__tuple__" in value or "__ndarray__" in value:
+            raise TypeError("dict value collides with checkpoint type tags")
+        return {k: encode_value(v) for k, v in value.items()}
+    raise TypeError(f"job value of type {type(value).__name__} is not checkpointable")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(decode_value(v) for v in value["__tuple__"])
+        if "__ndarray__" in value:
+            return np.array(value["__ndarray__"], dtype=value["dtype"])
+        return {k: decode_value(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One completed job: identity, provenance, and its (decoded) value."""
+
+    experiment: str
+    root_seed: int
+    job: str
+    seed_fingerprint: int
+    value: Any
+    attempts: int = 1
+    elapsed_s: float = 0.0
+
+
+class Checkpoint:
+    """Streamed record of completed jobs backing ``--resume``.
+
+    One instance per (experiment run, output directory).  ``load(plan)``
+    returns the records still valid for the plan; ``record(plan, outcome)``
+    persists one more completed job.  Every persist rewrites the file
+    atomically, so a crash at any point leaves a loadable JSONL.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: list[CheckpointRecord] = []
+        self._fingerprints: dict[str, int] | None = None
+        self._loaded_for: tuple[str, int] | None = None
+
+    # -------------------------------------------------------------- loading
+    def load(self, plan: "JobPlan") -> list[CheckpointRecord]:
+        """Records of ``plan``'s jobs completed by a previous (or this) run.
+
+        Validates each stored record against the plan: experiment name,
+        root seed, and the job's current spawned-seed fingerprint must all
+        match, and the job must still exist in the plan.  Corrupt lines
+        (e.g. a torn write from a crash mid-rename) are skipped.
+        """
+        self._fingerprints = plan.job_seeds()
+        kept: dict[str, CheckpointRecord] = {}
+        if self.path.exists():
+            for line in self.path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                    record = CheckpointRecord(
+                        experiment=raw["experiment"],
+                        root_seed=int(raw["root_seed"]),
+                        job=raw["job"],
+                        seed_fingerprint=int(raw["seed_fingerprint"]),
+                        value=decode_value(raw["value"]),
+                        attempts=int(raw.get("attempts", 1)),
+                        elapsed_s=float(raw.get("elapsed_s", 0.0)),
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    continue
+                if record.experiment != plan.experiment or record.root_seed != plan.seed:
+                    continue
+                if self._fingerprints.get(record.job) != record.seed_fingerprint:
+                    continue
+                kept[record.job] = record  # duplicates: last write wins
+        self._records = list(kept.values())
+        self._loaded_for = (plan.experiment, plan.seed)
+        return list(self._records)
+
+    # ------------------------------------------------------------ recording
+    def record(self, plan: "JobPlan", outcome: "JobOutcome") -> bool:
+        """Persist one completed job; returns False if its value can't encode."""
+        if self._loaded_for != (plan.experiment, plan.seed):
+            self.load(plan)
+        assert self._fingerprints is not None
+        try:
+            encoded = encode_value(outcome.value)
+        except TypeError:
+            return False
+        record = CheckpointRecord(
+            experiment=plan.experiment,
+            root_seed=plan.seed,
+            job=outcome.name,
+            seed_fingerprint=self._fingerprints[outcome.name],
+            value=outcome.value,
+            attempts=outcome.attempts,
+            elapsed_s=outcome.elapsed_s,
+        )
+        self._records = [r for r in self._records if r.job != record.job] + [record]
+        self._flush(replacement_encoded={record.job: encoded})
+        return True
+
+    def _serialize(self, record: CheckpointRecord, encoded_value: Any) -> str:
+        return json.dumps(
+            {
+                "schema": CHECKPOINT_SCHEMA_VERSION,
+                "experiment": record.experiment,
+                "root_seed": record.root_seed,
+                "job": record.job,
+                "seed_fingerprint": record.seed_fingerprint,
+                "value": encoded_value,
+                "attempts": record.attempts,
+                "elapsed_s": record.elapsed_s,
+            }
+        )
+
+    def _flush(self, replacement_encoded: dict[str, Any]) -> None:
+        lines = []
+        for record in self._records:
+            encoded = (
+                replacement_encoded[record.job]
+                if record.job in replacement_encoded
+                else encode_value(record.value)
+            )
+            lines.append(self._serialize(record, encoded))
+        atomic_write_text(self.path, "\n".join(lines) + ("\n" if lines else ""))
+        _maybe_injected_crash()
+
+    # --------------------------------------------------------------- queries
+    def completed_jobs(self) -> list[str]:
+        """Names of the jobs currently persisted (after ``load``)."""
+        return [record.job for record in self._records]
+
+
+def _maybe_injected_crash() -> None:
+    """Honor ``DRS_ENGINE_CRASH_AFTER``: die hard after the k-th record.
+
+    SIGKILL (not an exception) so nothing — no finally blocks, no atexit —
+    gets to tidy up: exactly the failure mode resume must survive.
+    """
+    budget = os.environ.get(CRASH_AFTER_ENV)
+    if not budget:
+        return
+    global _records_persisted
+    _records_persisted += 1
+    if _records_persisted >= int(budget):
+        os.kill(os.getpid(), signal.SIGKILL)

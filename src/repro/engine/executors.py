@@ -16,34 +16,47 @@ Because every job's random stream is spawned from ``(root seed, experiment,
 job name)`` (see :mod:`repro.engine.jobs`), the two backends produce
 identical values for identical plans — worker count and scheduling order
 can only change wall time, never results.
+
+Fault tolerance
+---------------
+
+Both backends take an optional :class:`~repro.engine.retry.RetryPolicy`
+(``policy=``) and run each job through
+:func:`repro.engine.retry.execute_job`: bounded retries with deterministic
+backoff jitter, per-attempt wall-clock timeouts, and quarantine of jobs
+that exhaust the budget (the run completes with partial values instead of
+dying).  Without a policy the legacy fail-fast semantics apply — the first
+failure raises :class:`~repro.engine.retry.JobError`.
+
+``run(plan, checkpoint=...)`` additionally streams completed values into a
+:class:`~repro.engine.checkpoint.Checkpoint` (and skips jobs it already
+holds), which is what makes ``drs-experiments --resume`` crash-safe.  The
+parallel backend also survives ``BrokenProcessPool``: it respawns the pool
+up to ``max_pool_respawns`` times and requeues only the jobs that have not
+settled yet.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.engine.checkpoint import Checkpoint
 from repro.engine.jobs import Job, JobPlan
+from repro.engine.retry import FAIL_FAST, JobError, JobOutcome, RetryPolicy, execute_job
 from repro.obs.metrics import MetricsRegistry, current_registry, ensure_core_metrics, use_registry
 from repro.obs.progress import ProgressReporter, heartbeat, set_heartbeat
 
-
-class JobError(RuntimeError):
-    """A job failed; carries the job name for attribution across processes."""
-
-    def __init__(self, experiment: str, job_name: str, cause: BaseException | str) -> None:
-        super().__init__(f"job {job_name!r} of experiment {experiment!r} failed: {cause!r}")
-        self.experiment = experiment
-        self.job_name = job_name
-        self.cause = cause if isinstance(cause, str) else repr(cause)
-
-    def __reduce__(self):
-        # default exception pickling replays __init__ with ``args`` (the
-        # formatted message) — a signature mismatch that would kill the pool's
-        # result pipe; rebuild from the stored fields instead
-        return (type(self), (self.experiment, self.job_name, self.cause))
+__all__ = [
+    "JobError",
+    "PlanExecution",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+]
 
 
 @dataclass
@@ -54,6 +67,26 @@ class PlanExecution:
     backend: str
     workers: int
     job_seeds: dict[str, int] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+    quarantined: list[str] = field(default_factory=list)
+    timed_out: list[str] = field(default_factory=list)
+    resumed: list[str] = field(default_factory=list)
+    pool_respawns: int = 0
+
+    @property
+    def retries(self) -> int:
+        """Total attempts beyond the first across all jobs run this time."""
+        return sum(a - 1 for a in self.attempts.values())
+
+
+def _resume_from_checkpoint(
+    plan: JobPlan, checkpoint: Checkpoint | None
+) -> tuple[dict[str, Any], list[str]]:
+    """Values and names of jobs a checkpoint already holds for this plan."""
+    if checkpoint is None:
+        return {}, []
+    records = checkpoint.load(plan)
+    return {r.job: r.value for r in records}, [r.job for r in records]
 
 
 class SerialExecutor:
@@ -62,30 +95,54 @@ class SerialExecutor:
     name = "serial"
     workers = 1
 
-    def run(self, plan: JobPlan) -> PlanExecution:
+    def __init__(self, policy: RetryPolicy | None = None) -> None:
+        self.policy = policy
+
+    def run(self, plan: JobPlan, checkpoint: Checkpoint | None = None) -> PlanExecution:
         """Execute every job in plan order; deterministic for a given plan."""
-        values: dict[str, Any] = {}
+        policy = self.policy if self.policy is not None else FAIL_FAST
+        values, resumed = _resume_from_checkpoint(plan, checkpoint)
+        attempts: dict[str, int] = {}
+        quarantined: list[str] = []
+        timed_out: list[str] = []
         for job in plan.jobs:
-            try:
-                values[job.name] = job.fn(job.params, plan.job_seedseq(job))
-            except Exception as exc:
-                raise JobError(plan.experiment, job.name, exc) from exc
+            if job.name in values:
+                continue
+            outcome = execute_job(plan.experiment, plan.seed, job, plan.job_seedseq(job), policy)
+            attempts[job.name] = outcome.attempts
+            if outcome.ok:
+                values[job.name] = outcome.value
+                if checkpoint is not None:
+                    checkpoint.record(plan, outcome)
+            else:
+                quarantined.append(job.name)
+                if outcome.timed_out:
+                    timed_out.append(job.name)
             hb = heartbeat()
             if hb is not None:
                 hb.add(0, jobs=1)
         return PlanExecution(
-            values=values, backend=self.name, workers=1, job_seeds=plan.job_seeds()
+            values=values,
+            backend=self.name,
+            workers=1,
+            job_seeds=plan.job_seeds(),
+            attempts=attempts,
+            quarantined=quarantined,
+            timed_out=timed_out,
+            resumed=resumed,
         )
 
 
 def _run_chunk(
-    experiment: str, seed: int, jobs: list[Job]
-) -> tuple[dict[str, Any], MetricsRegistry, dict]:
+    experiment: str, seed: int, jobs: list[Job], policy: RetryPolicy
+) -> tuple[list[JobOutcome], MetricsRegistry, dict]:
     """Worker entry point: run a chunk of jobs under private observability.
 
-    Returns the chunk's values, its metrics registry (merged by the parent),
-    and the silent heartbeat collector's summary.  Module-level so process
-    pools can pickle it regardless of start method.
+    Returns the chunk's per-job outcomes, its metrics registry (merged by
+    the parent), and the silent heartbeat collector's summary.  Module-level
+    so process pools can pickle it regardless of start method.  Retries and
+    timeouts happen here, inside the worker — only quarantined outcomes
+    (or, under a fail-fast policy, a :class:`JobError`) reach the parent.
     """
     from repro.engine.jobs import JobPlan  # re-import friendly under spawn
     from repro.obs.profiler import install_profiling
@@ -99,15 +156,12 @@ def _run_chunk(
     set_heartbeat(collector)
     try:
         with use_registry(registry):
-            values: dict[str, Any] = {}
-            for job in jobs:
-                try:
-                    values[job.name] = job.fn(job.params, plan.job_seedseq(job))
-                except Exception as exc:
-                    raise JobError(experiment, job.name, exc) from exc
+            outcomes = [
+                execute_job(experiment, seed, job, plan.job_seedseq(job), policy) for job in jobs
+            ]
     finally:
         set_heartbeat(None)
-    return values, registry, collector.summary()
+    return outcomes, registry, collector.summary()
 
 
 class ParallelExecutor:
@@ -116,17 +170,34 @@ class ParallelExecutor:
     ``workers`` defaults to the machine's CPU count.  Jobs are grouped into
     chunks (several jobs per round trip) to amortize pickling and registry
     transfer; chunking affects only scheduling, never values.
+
+    If the pool breaks (a worker segfaults, is OOM-killed, …) the executor
+    replaces it — up to ``max_pool_respawns`` times per plan — and requeues
+    exactly the jobs whose outcomes had not been received.  A job that
+    *keeps* breaking its worker therefore exhausts the respawn budget and
+    surfaces as a :class:`JobError` attributed to ``"<pool>"`` (the broken
+    pipe cannot say which job killed it).
     """
 
     name = "process-pool"
 
-    def __init__(self, workers: int | None = None, chunks_per_worker: int = 4) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunks_per_worker: int = 4,
+        policy: RetryPolicy | None = None,
+        max_pool_respawns: int = 3,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunks_per_worker < 1:
             raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+        if max_pool_respawns < 0:
+            raise ValueError(f"max_pool_respawns must be >= 0, got {max_pool_respawns}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.chunks_per_worker = chunks_per_worker
+        self.policy = policy
+        self.max_pool_respawns = max_pool_respawns
 
     def _chunk(self, jobs: list[Job]) -> list[list[Job]]:
         if not jobs:
@@ -135,29 +206,74 @@ class ParallelExecutor:
         size = max(1, -(-len(jobs) // target))  # ceil division
         return [jobs[i : i + size] for i in range(0, len(jobs), size)]
 
-    def run(self, plan: JobPlan) -> PlanExecution:
+    def run(self, plan: JobPlan, checkpoint: Checkpoint | None = None) -> PlanExecution:
         """Execute the plan on the pool, merging worker observability back."""
-        values: dict[str, Any] = {}
+        policy = self.policy if self.policy is not None else FAIL_FAST
         registry = current_registry()
         reporter = heartbeat()
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            pending = {
-                pool.submit(_run_chunk, plan.experiment, plan.seed, chunk): chunk
-                for chunk in self._chunk(plan.jobs)
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    chunk = pending.pop(future)
-                    chunk_values, worker_registry, hb_summary = future.result()
-                    values.update(chunk_values)
-                    registry.merge(worker_registry)
-                    if reporter is not None:
-                        reporter.absorb(hb_summary)
-                        reporter.add(0, jobs=len(chunk))
+        values, resumed = _resume_from_checkpoint(plan, checkpoint)
+        attempts: dict[str, int] = {}
+        quarantined: list[str] = []
+        timed_out: list[str] = []
+        settled: set[str] = set(values)
+
+        def absorb(chunk: list[Job], result: tuple) -> None:
+            chunk_outcomes, worker_registry, hb_summary = result
+            for outcome in chunk_outcomes:
+                settled.add(outcome.name)
+                attempts[outcome.name] = outcome.attempts
+                if outcome.ok:
+                    values[outcome.name] = outcome.value
+                    if checkpoint is not None:
+                        checkpoint.record(plan, outcome)
+                else:
+                    quarantined.append(outcome.name)
+                    if outcome.timed_out:
+                        timed_out.append(outcome.name)
+            registry.merge(worker_registry)
+            if reporter is not None:
+                reporter.absorb(hb_summary)
+                reporter.add(0, jobs=len(chunk))
+
+        chunks = self._chunk([job for job in plan.jobs if job.name not in settled])
+        respawns = 0
+        while chunks:
+            try:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    pending = {
+                        pool.submit(_run_chunk, plan.experiment, plan.seed, chunk, policy): chunk
+                        for chunk in chunks
+                    }
+                    while pending:
+                        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            chunk = pending.pop(future)
+                            absorb(chunk, future.result())
+                chunks = []
+            except BrokenProcessPool as exc:
+                if respawns >= self.max_pool_respawns:
+                    raise JobError(
+                        plan.experiment,
+                        "<pool>",
+                        f"process pool broke {respawns + 1} times; giving up: {exc!r}",
+                    ) from exc
+                respawns += 1
+                registry.counter("engine_pool_respawns_total").add(1)
+                # Requeue (and rebalance) everything whose outcome never
+                # arrived; settled jobs are safe — their results, metrics,
+                # and checkpoint records were absorbed before the break.
+                chunks = self._chunk([job for job in plan.jobs if job.name not in settled])
         _recompute_rate_gauges(registry)
         return PlanExecution(
-            values=values, backend=self.name, workers=self.workers, job_seeds=plan.job_seeds()
+            values=values,
+            backend=self.name,
+            workers=self.workers,
+            job_seeds=plan.job_seeds(),
+            attempts=attempts,
+            quarantined=quarantined,
+            timed_out=timed_out,
+            resumed=resumed,
+            pool_respawns=respawns,
         )
 
 
@@ -176,17 +292,20 @@ def _recompute_rate_gauges(registry: MetricsRegistry) -> None:
             registry.gauge(gauge_name).set(total.value / wall.value)
 
 
-def make_executor(jobs: int | None) -> SerialExecutor | ParallelExecutor:
+def make_executor(
+    jobs: int | None, policy: RetryPolicy | None = None
+) -> SerialExecutor | ParallelExecutor:
     """CLI helper: ``--jobs N`` to an executor (``0``/``None`` = all cores).
 
     ``--jobs 1`` (and single-core machines asking for "all cores") stays
     serial: a one-worker pool costs process round trips and buys nothing.
+    ``policy`` (if any) is threaded through to the chosen backend.
     """
     if jobs is None or jobs == 1:
-        return SerialExecutor()
+        return SerialExecutor(policy=policy)
     if jobs < 0:
         raise ValueError(f"--jobs must be >= 0, got {jobs}")
     workers = jobs if jobs > 0 else (os.cpu_count() or 1)
     if workers == 1:
-        return SerialExecutor()
-    return ParallelExecutor(workers=workers)
+        return SerialExecutor(policy=policy)
+    return ParallelExecutor(workers=workers, policy=policy)

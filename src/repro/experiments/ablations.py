@@ -135,7 +135,8 @@ def build_plan(
         for f in f_values:
             for n in n_values:
                 full = success_probability(n, f)
-                no_two_hop = values[f"no2hop/n={n}/f={f}"]
+                # quarantined points are absent: NaN keeps the table shape
+                no_two_hop = values.get(f"no2hop/n={n}/f={f}", float("nan"))
                 single = single_backplane_success(n, f)
                 rows.append([n, f, full, no_two_hop, single])
         result.add_table(
@@ -152,8 +153,9 @@ def build_plan(
         # 3: proactive-cost continuum on the live DES
         if run_des:
             des_rows = []
+            nan_pair = (float("nan"), float("nan"))
             for period in sweep_periods:
-                latency, overhead_bps = values[f"des/period={period}"]
+                latency, overhead_bps = values.get(f"des/period={period}", nan_pair)
                 des_rows.append([period, latency, overhead_bps / 1e3])
             result.add_table(
                 "sweep_period",
@@ -174,6 +176,7 @@ def run(
     seed: int = 7,
     run_des: bool = True,
     executor: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """All three ablations."""
     plan = build_plan(
@@ -184,7 +187,7 @@ def run(
         seed=seed,
         run_des=run_des,
     )
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, checkpoint=checkpoint)
 
 
 register(

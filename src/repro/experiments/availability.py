@@ -117,7 +117,8 @@ def build_plan(
         for n, f in WEIGHTED_POINTS:
             uniform = success_probability(n, f)
             ratio = hub_nic_weight_ratio(n)
-            weighted = values[f"weighted/n={n}/f={f}"]
+            # quarantined points are absent: NaN keeps the table shape intact
+            weighted = values.get(f"weighted/n={n}/f={f}", float("nan"))
             weighted_rows.append([n, f, ratio, uniform, weighted, weighted - uniform])
         result.add_table(
             "weighted",
@@ -144,6 +145,7 @@ def run(
     mc_iterations: int = 150_000,
     seed: int = 5,
     executor: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """Downtime table per cluster size and repair regime."""
     plan = build_plan(
@@ -155,7 +157,7 @@ def run(
         mc_iterations=mc_iterations,
         seed=seed,
     )
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, checkpoint=checkpoint)
 
 
 register(

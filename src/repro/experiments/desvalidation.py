@@ -106,7 +106,11 @@ def _replicate_jobs(pairs: list[tuple[int, int]], replicates: int) -> list[Job]:
 
 
 def _success_rate(values: dict[str, Any], n: int, f: int, replicates: int) -> float:
-    return sum(bool(values[f"rep/n={n}/f={f}/i={i}"]) for i in range(replicates)) / replicates
+    # quarantined replicates are absent; the rate uses whichever completed
+    present = [values[k] for i in range(replicates) if (k := f"rep/n={n}/f={f}/i={i}") in values]
+    if not present:
+        return float("nan")
+    return sum(bool(v) for v in present) / len(present)
 
 
 def build_curve_plan(
@@ -154,6 +158,7 @@ def run_curve(
     replicates: int = 100,
     seed: int = 2024,
     executor: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """A live-protocol Figure 2: DES survivability vs N at fixed f.
 
@@ -162,7 +167,7 @@ def run_curve(
     the model-vs-system agreement claim.
     """
     plan = build_curve_plan(f=f, n_values=n_values, replicates=replicates, seed=seed)
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, checkpoint=checkpoint)
 
 
 def build_plan(
@@ -202,10 +207,11 @@ def run(
     replicates: int = 120,
     seed: int = 2000,
     executor: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """Empirical-vs-analytic comparison table for one cluster size."""
     plan = build_plan(n=n, f_values=f_values, replicates=replicates, seed=seed)
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, checkpoint=checkpoint)
 
 
 register(

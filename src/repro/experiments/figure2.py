@@ -78,7 +78,8 @@ def build_plan(
             mc_curves: dict[str, tuple] = {}
             for f in f_values:
                 ns = np.arange(max(2, f + 1), n_max + 1)
-                ps = np.array([values[f"mc/f={f}/n={n}"] for n in ns])
+                # quarantined jobs are absent: their points plot as NaN gaps
+                ps = np.array([values.get(f"mc/f={f}/n={n}", float("nan")) for n in ns])
                 mc_curves[f"sim f={f}"] = (ns, ps)
             result.add_series(
                 "montecarlo",
@@ -109,15 +110,17 @@ def run(
     mc_iterations: int = 0,
     seed: int = 2000,
     executor: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """Regenerate Figure 2.
 
     ``mc_iterations > 0`` adds a Monte Carlo overlay series per f (the
     paper's simulation points).  ``executor`` selects the engine backend
-    (default serial); results are executor-independent.
+    (default serial); results are executor-independent.  ``checkpoint``
+    streams completed jobs for crash-safe ``--resume``.
     """
     plan = build_plan(f_values=f_values, n_max=n_max, mc_iterations=mc_iterations, seed=seed)
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, checkpoint=checkpoint)
 
 
 register(

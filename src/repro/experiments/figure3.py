@@ -57,8 +57,12 @@ def build_plan(
     ]
 
     def reduce(values: dict[str, Any]) -> ExperimentResult:
+        # quarantined cells are absent: NaN keeps the grid shape intact
         mad = np.array(
-            [[values[f"mad/f={f}/iters={iters}"] for iters in iteration_grid] for f in f_values]
+            [
+                [values.get(f"mad/f={f}/iters={iters}", float("nan")) for iters in iteration_grid]
+                for f in f_values
+            ]
         )
         study = ConvergenceStudy(
             f_values=tuple(f_values), iteration_grid=tuple(iteration_grid), mad=mad
@@ -111,10 +115,11 @@ def run(
     n_max: int = 63,
     seed: int = 2000,
     executor: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """Regenerate Figure 3 (executor-independent for a given seed)."""
     plan = build_plan(f_values=f_values, iteration_grid=iteration_grid, n_max=n_max, seed=seed)
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, checkpoint=checkpoint)
 
 
 register(

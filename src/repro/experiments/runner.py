@@ -7,6 +7,7 @@ Usage::
     drs-experiments --quick              # reduced iteration counts
     drs-experiments --quick --jobs 4     # sweeps fan out over 4 processes
     drs-experiments --out /tmp/results
+    drs-experiments --resume results     # pick up an interrupted run
 
 The experiments come from the declarative registry in :mod:`repro.engine`:
 each :mod:`repro.experiments.*` module registers an
@@ -15,22 +16,36 @@ profiles, and sweep-style experiments decompose into independent jobs with
 deterministic spawned seeds — so ``--jobs N`` changes wall time, never
 results.
 
+Sweep experiments run fault-tolerant by default: each job gets
+``--retries`` attempts beyond the first (exponential backoff, deterministic
+jitter), an optional ``--job-timeout`` wall-clock budget per attempt, and
+jobs that exhaust the budget are quarantined — the run completes with
+partial results and the manifest names them.  Completed jobs stream into
+``<out>/<name>.checkpoint.jsonl`` (crash-safe); after an interruption,
+``--resume <out>`` replays the original invocation (recorded in
+``<out>/run.json``) and re-runs only the jobs the checkpoint is missing —
+final CSVs are byte-identical to an uninterrupted run.  ``--fail-fast``
+restores the legacy first-failure-raises behavior.
+
 Every experiment also writes a run manifest (``<name>.manifest.json``) and a
 metrics snapshot (``<name>.metrics.jsonl`` + ``.prom``) next to its results,
 so ``results/`` directories are reproducible and diffable; disable with
-``--no-metrics``.  Manifests record the engine backend, worker count, and
-per-job seeds.  ``repro obs results/`` pretty-prints the artifacts.
+``--no-metrics``.  Manifests record the engine backend, worker count,
+per-job seeds, and the fault-tolerance tallies (attempts, retries,
+quarantined/timed-out/resumed job names).  ``repro obs results/``
+pretty-prints the artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
 import repro.experiments  # noqa: F401  — importing registers every ExperimentSpec
-from repro.engine import experiment_specs, make_executor
+from repro.engine import Checkpoint, RetryPolicy, experiment_specs, make_executor
 from repro.obs import (
     MetricsRegistry,
     RunManifest,
@@ -39,7 +54,31 @@ from repro.obs import (
     use_registry,
     write_metrics_files,
 )
+from repro.obs.artifacts import atomic_write_text
 from repro.obs.progress import ProgressReporter, set_heartbeat
+
+#: Fields of the original invocation that ``--resume`` must replay to
+#: reproduce the same plans, seeds, and policy (``--jobs`` is deliberately
+#: absent: worker count is machine-local and never affects values).
+RUN_STATE_FIELDS = ("names", "quick", "seed", "retries", "job_timeout", "fail_fast", "no_checkpoint")
+
+RUN_STATE_VERSION = 1
+
+
+def _write_run_state(out_dir: Path, args: argparse.Namespace) -> None:
+    state = {"schema": RUN_STATE_VERSION}
+    state.update({f: getattr(args, f) for f in RUN_STATE_FIELDS})
+    atomic_write_text(out_dir / "run.json", json.dumps(state, indent=2, sort_keys=True) + "\n")
+
+
+def _load_run_state(out_dir: Path) -> dict:
+    path = out_dir / "run.json"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path} not found — --resume needs the run.json a previous drs-experiments "
+            f"invocation wrote into its output directory"
+        )
+    return json.loads(path.read_text())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,6 +104,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SEED",
         help="override every seed-taking experiment's root seed",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-job retry budget beyond the first attempt (default 2)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock budget for each sweep job (default: unlimited)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="legacy semantics: first job failure raises instead of retrying/quarantining",
+    )
+    parser.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="skip the crash-safe <name>.checkpoint.jsonl stream (disables --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume an interrupted run: replay DIR/run.json, skip checkpointed jobs",
+    )
     parser.add_argument("--html", action="store_true", help="also write a combined results/index.html")
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument(
@@ -80,6 +149,26 @@ def main(argv: list[str] | None = None) -> int:
         help="progress heartbeat interval on stderr (0 disables; default 10)",
     )
     args = parser.parse_args(argv)
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        parser.error(f"--job-timeout must be positive, got {args.job_timeout}")
+
+    if args.resume is not None:
+        if args.names or args.seed is not None or args.quick:
+            parser.error("--resume replays the original invocation; don't combine it with "
+                         "experiment names, --quick, or --seed")
+        resume_dir = Path(args.resume)
+        try:
+            state = _load_run_state(resume_dir)
+        except (FileNotFoundError, json.JSONDecodeError) as exc:
+            parser.error(str(exc))
+        for field in RUN_STATE_FIELDS:
+            if field in state:
+                setattr(args, field, state[field])
+        args.out = str(resume_dir)
+        if args.no_checkpoint:
+            parser.error("the original run used --no-checkpoint; nothing to resume from")
 
     specs = experiment_specs()
     registry = {spec.name: spec for spec in specs}
@@ -91,13 +180,18 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [n for n in names if n not in registry]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}; have {', '.join(registry)}")
+    policy = None
+    if not args.fail_fast:
+        policy = RetryPolicy(max_attempts=args.retries + 1, timeout_s=args.job_timeout)
     try:
-        executor = make_executor(args.jobs)
+        executor = make_executor(args.jobs, policy=policy)
     except ValueError as exc:
         parser.error(str(exc))
 
     profile = "quick" if args.quick else "full"
     out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    _write_run_state(out_dir, args)
     results = []
     if not args.no_metrics:
         # Profile every simulator the experiments build internally; each
@@ -110,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["seed"] = args.seed
         if spec.parallel:
             kwargs["executor"] = executor
+            if not args.no_checkpoint:
+                kwargs["checkpoint"] = Checkpoint(out_dir / f"{name}.checkpoint.jsonl")
         started = time.perf_counter()
         print(f"[drs-experiments] running {name} ...", flush=True)
         metrics = ensure_core_metrics(MetricsRegistry())
@@ -123,6 +219,7 @@ def main(argv: list[str] | None = None) -> int:
         results.append(result)
         files = result.write(out_dir)
         elapsed = time.perf_counter() - started
+        engine_meta = result.meta.get("engine") if isinstance(result.meta, dict) else None
         if not args.no_metrics:
             manifest = RunManifest.build(
                 name=name,
@@ -134,10 +231,24 @@ def main(argv: list[str] | None = None) -> int:
                 heartbeat=reporter.summary() if reporter is not None else None,
                 backend=executor.name if spec.parallel else "direct",
                 workers=executor.workers if spec.parallel else 1,
+                fault_tolerance={
+                    k: engine_meta[k]
+                    for k in ("attempts", "retries", "quarantined", "timed_out", "resumed",
+                              "pool_respawns")
+                    if k in engine_meta
+                } if engine_meta else None,
             )
             manifest.write(out_dir / f"{name}.manifest.json")
             write_metrics_files(metrics, out_dir, name)
         print(result.render())
+        if engine_meta and engine_meta.get("quarantined"):
+            print(
+                f"[drs-experiments] WARNING: {name} quarantined "
+                f"{len(engine_meta['quarantined'])} job(s): "
+                f"{', '.join(engine_meta['quarantined'])}",
+                file=sys.stderr,
+                flush=True,
+            )
         print(f"[drs-experiments] {name} done in {elapsed:.1f}s -> {files[0]}", flush=True)
     if args.html:
         from repro.experiments.base import write_html_index

@@ -82,8 +82,10 @@ def build_plan(
             "budget_cap": budget_cap,
         }
         rows = []
+        nan_pair = (float("nan"), float("nan"))
         for n in n_values:
-            latency, load = values[f"size/n={n}"]
+            # quarantined sizes are absent: NaN keeps the table shape intact
+            latency, load = values.get(f"size/n={n}", nan_pair)
             rows.append([n, latency, load])
         result.add_table(
             "scaling",
@@ -124,6 +126,7 @@ def run(
     detection_target_s: float = 1.0,
     budget_cap: float = 0.15,
     executor: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """Scaling table plus the feasibility boundary."""
     plan = build_plan(
@@ -132,7 +135,7 @@ def run(
         detection_target_s=detection_target_s,
         budget_cap=budget_cap,
     )
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, checkpoint=checkpoint)
 
 
 register(

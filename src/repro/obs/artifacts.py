@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform
 import time
 from dataclasses import asdict, dataclass, field
@@ -26,6 +27,21 @@ from repro.obs.metrics import MetricsRegistry
 from repro.simkit.trace import TraceRecorder
 
 MANIFEST_SCHEMA_VERSION = 1
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via a same-directory temp file + ``os.replace``.
+
+    Readers (and crash recovery) therefore only ever see the old complete
+    content or the new complete content, never a torn write.  Used for the
+    engine's checkpoint stream and for manifests.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
 
 
 def spec_hash(config: Any) -> str:
@@ -83,11 +99,10 @@ class RunManifest:
         return asdict(self)
 
     def write(self, path: str | Path) -> Path:
-        """Write the manifest as pretty-printed JSON."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True, default=str) + "\n")
-        return path
+        """Write the manifest as pretty-printed JSON (atomically)."""
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True, default=str) + "\n"
+        )
 
 
 def load_manifest(path: str | Path) -> RunManifest:

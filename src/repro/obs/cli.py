@@ -34,7 +34,13 @@ from pathlib import Path
 from repro.obs.artifacts import load_manifest
 from repro.viz import metrics_summary_table, render_table
 
-ARTIFACT_GLOBS = ("*.manifest.json", "*.metrics.jsonl", "*.metrics.prom", "*.trace.jsonl")
+ARTIFACT_GLOBS = (
+    "*.manifest.json",
+    "*.metrics.jsonl",
+    "*.metrics.prom",
+    "*.trace.jsonl",
+    "*.checkpoint.jsonl",
+)
 
 
 def _render_manifest(path: Path) -> str:
@@ -88,6 +94,32 @@ def _render_trace_jsonl(path: Path) -> str:
     )
 
 
+def _render_checkpoint_jsonl(path: Path) -> str:
+    rows = []
+    total_attempts = 0
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        attempts = int(row.get("attempts", 1))
+        total_attempts += attempts
+        rows.append(
+            [
+                row.get("experiment", "?"),
+                row.get("job", "?"),
+                attempts,
+                f"{float(row.get('elapsed_s', 0.0)):.3f}",
+            ]
+        )
+    if not rows:
+        return f"checkpoint: {path.name}: (empty)"
+    title = f"checkpoint: {path.name} ({len(rows)} job(s), {total_attempts} attempt(s))"
+    return render_table(["experiment", "job", "attempts", "elapsed (s)"], rows, title=title)
+
+
 def render_artifact(path: Path) -> str:
     """Pretty-print one artifact file by suffix."""
     name = path.name
@@ -99,6 +131,8 @@ def render_artifact(path: Path) -> str:
         return f"prometheus snapshot: {path.name}\n{path.read_text().rstrip()}"
     if name.endswith(".trace.jsonl"):
         return _render_trace_jsonl(path)
+    if name.endswith(".checkpoint.jsonl"):
+        return _render_checkpoint_jsonl(path)
     raise ValueError(f"unrecognized artifact {path} (expected {', '.join(ARTIFACT_GLOBS)})")
 
 

@@ -394,6 +394,11 @@ CORE_COUNTERS: tuple[tuple[str, str], ...] = (
     ("sim_run_seconds_total", "wall-clock seconds inside Simulator.run"),
     ("mc_iterations_total", "Monte Carlo iterations evaluated"),
     ("mc_wall_seconds_total", "wall-clock seconds in the Monte Carlo hot path"),
+    ("engine_job_attempts_total", "job attempts started by the execution engine"),
+    ("engine_job_retries_total", "job attempts beyond the first (retries)"),
+    ("engine_job_timeouts_total", "job attempts abandoned at the wall-clock timeout"),
+    ("engine_jobs_quarantined_total", "jobs that exhausted their retry budget"),
+    ("engine_pool_respawns_total", "broken process pools replaced mid-plan"),
 )
 
 CORE_GAUGES: tuple[tuple[str, str], ...] = (

@@ -1,0 +1,57 @@
+"""Oracle test: the vectorized DRS predicate vs exhaustive pure-Python rules.
+
+``pair_connected_vec`` is the Monte Carlo hot path — one NumPy expression
+whose correctness everything downstream (Figures 2/3, the availability
+tables) inherits.  This compares it, bit for bit, against the pure-Python
+transcription of the DRS reachability rules in
+:mod:`repro.analysis.exhaustive` over *every* possible failure set for
+small clusters: all ``C(2n+2, f)`` subsets, for n in {2, 3} and every f.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.analysis.exhaustive import pair_connected
+from repro.analysis.montecarlo import pair_connected_vec
+
+
+def _all_failure_sets(n: int, f: int) -> list[tuple[int, ...]]:
+    return list(combinations(range(2 * n + 2), f))
+
+
+def _as_matrix(failure_sets: list[tuple[int, ...]], n: int) -> np.ndarray:
+    failed = np.zeros((len(failure_sets), 2 * n + 2), dtype=bool)
+    for row, subset in enumerate(failure_sets):
+        failed[row, list(subset)] = True
+    return failed
+
+
+@pytest.mark.parametrize("n", [2, 3])
+@pytest.mark.parametrize("two_hop", [True, False])
+def test_vectorized_matches_oracle_exhaustively(n, two_hop):
+    width = 2 * n + 2
+    for f in range(width + 1):
+        subsets = _all_failure_sets(n, f)
+        got = pair_connected_vec(_as_matrix(subsets, n), two_hop=two_hop)
+        expected = np.array(
+            [pair_connected(frozenset(s), n, two_hop=two_hop) for s in subsets]
+        )
+        mismatches = np.flatnonzero(got != expected)
+        assert mismatches.size == 0, (
+            f"n={n} f={f} two_hop={two_hop}: vectorized predicate disagrees with the "
+            f"oracle on {mismatches.size}/{len(subsets)} failure sets, "
+            f"first at {subsets[mismatches[0]]}"
+        )
+
+
+def test_exhaustive_mean_matches_closed_form():
+    # anchor the oracle itself against Equation 1 while we're here
+    from repro.analysis.exact import success_probability
+
+    for n in (2, 3):
+        for f in range(2 * n + 3):
+            subsets = _all_failure_sets(n, f)
+            mean = np.mean([pair_connected(frozenset(s), n) for s in subsets])
+            assert mean == pytest.approx(success_probability(n, f), abs=1e-12)

@@ -1,0 +1,67 @@
+"""Property-based tests (hypothesis) for the Monte Carlo failure sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.montecarlo import sample_failure_matrix
+
+
+@st.composite
+def valid_sampler_inputs(draw):
+    """Arbitrary valid (n, f, iterations): f within [0, 2n+2]."""
+    n = draw(st.integers(2, 40))
+    f = draw(st.integers(0, 2 * n + 2))
+    iterations = draw(st.integers(1, 200))
+    return n, f, iterations
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=valid_sampler_inputs(), seed=st.integers(0, 2**32 - 1))
+def test_every_row_has_exactly_f_failures(args, seed):
+    n, f, iterations = args
+    failed = sample_failure_matrix(n, f, iterations, np.random.default_rng(seed))
+    assert failed.shape == (iterations, 2 * n + 2)
+    assert failed.dtype == np.bool_
+    assert (failed.sum(axis=1) == f).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(args=valid_sampler_inputs(), seed=st.integers(0, 2**32 - 1))
+def test_sampling_is_deterministic_for_a_seed(args, seed):
+    n, f, iterations = args
+    a = sample_failure_matrix(n, f, iterations, np.random.default_rng(seed))
+    b = sample_failure_matrix(n, f, iterations, np.random.default_rng(seed))
+    np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 40), iterations=st.integers(1, 50), seed=st.integers(0, 2**32 - 1))
+def test_boundary_failure_counts(n, iterations, seed):
+    rng = np.random.default_rng(seed)
+    width = 2 * n + 2
+    assert not sample_failure_matrix(n, 0, iterations, rng).any()
+    assert sample_failure_matrix(n, width, iterations, rng).all()
+
+
+@given(n=st.integers(-10, 1))
+def test_too_small_n_raises(n):
+    with pytest.raises(ValueError, match="n >= 2"):
+        sample_failure_matrix(n, 1, 1, np.random.default_rng(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 40), delta=st.integers(1, 50))
+def test_out_of_range_f_raises(n, delta):
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="f must be in"):
+        sample_failure_matrix(n, -delta, 1, rng)
+    with pytest.raises(ValueError, match="f must be in"):
+        sample_failure_matrix(n, 2 * n + 2 + delta, 1, rng)
+
+
+@given(n=st.integers(2, 40), iterations=st.integers(-5, 0))
+def test_nonpositive_iterations_raises(n, iterations):
+    with pytest.raises(ValueError, match="iterations must be >= 1"):
+        sample_failure_matrix(n, 1, iterations, np.random.default_rng(0))

@@ -1,0 +1,156 @@
+"""Checkpoint stream: value round-trips, validation against the plan, atomicity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Checkpoint, Job, JobOutcome, JobPlan
+from repro.engine.checkpoint import decode_value, encode_value
+
+
+def _noop(params, seed_seq):
+    return params.get("v", 0.0)
+
+
+def _plan(names=("a", "b", "c"), seed=11, experiment="toy"):
+    jobs = [Job(name=n, fn=_noop, params={"v": float(i)}) for i, n in enumerate(names)]
+    return JobPlan(experiment=experiment, seed=seed, jobs=jobs, reduce=lambda v: v)
+
+
+def _record(checkpoint, plan, name, value, attempts=1):
+    assert checkpoint.record(plan, JobOutcome(name=name, ok=True, value=value, attempts=attempts))
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            -3,
+            "text",
+            0.1 + 0.2,  # float repr round-trips exactly through JSON
+            1e-308,
+            (1.5, 2.5),
+            (1, ("nested", 2.0)),
+            [1.0, 2.0],
+            {"k": 1.0, "nested": {"t": (3, 4)}},
+        ],
+    )
+    def test_json_round_trip_is_exact(self, value):
+        encoded = json.loads(json.dumps(encode_value(value)))
+        assert decode_value(encoded) == value
+
+    def test_numpy_scalars_normalize(self):
+        assert encode_value(np.float64(0.25)) == 0.25
+        assert encode_value(np.int64(7)) == 7
+        assert encode_value(np.bool_(True)) is True
+
+    def test_ndarray_round_trips(self):
+        arr = np.array([0.1, 0.2, 0.3])
+        back = decode_value(json.loads(json.dumps(encode_value(arr))))
+        assert isinstance(back, np.ndarray)
+        assert back.dtype == arr.dtype
+        np.testing.assert_array_equal(back, arr)
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+        with pytest.raises(TypeError):
+            encode_value({1: "non-string key"})
+        with pytest.raises(TypeError):
+            encode_value({"__tuple__": [1]})  # collides with the type tag
+
+
+class TestCheckpointRoundTrip:
+    def test_record_then_load(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan()
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        _record(checkpoint, plan, "a", 0.125, attempts=2)
+        _record(checkpoint, plan, "b", (1.5, 2.5))
+
+        fresh = Checkpoint(path)
+        records = {r.job: r for r in fresh.load(plan)}
+        assert set(records) == {"a", "b"}
+        assert records["a"].value == 0.125 and records["a"].attempts == 2
+        assert records["b"].value == (1.5, 2.5)
+        assert sorted(fresh.completed_jobs()) == ["a", "b"]
+
+    def test_duplicate_records_last_wins(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan()
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        _record(checkpoint, plan, "a", 1.0)
+        _record(checkpoint, plan, "a", 2.0)
+        records = Checkpoint(path).load(plan)
+        assert [r.value for r in records if r.job == "a"] == [2.0]
+
+    def test_unencodable_value_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan()
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        assert not checkpoint.record(plan, JobOutcome(name="a", ok=True, value=object()))
+        _record(checkpoint, plan, "b", 1.0)
+        assert Checkpoint(path).load(plan)[0].job == "b"
+
+
+class TestCheckpointValidation:
+    def test_wrong_root_seed_discards_records(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan(seed=11)
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        _record(checkpoint, plan, "a", 1.0)
+        assert Checkpoint(path).load(_plan(seed=12)) == []
+
+    def test_wrong_experiment_discards_records(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan(experiment="toy")
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        _record(checkpoint, plan, "a", 1.0)
+        assert Checkpoint(path).load(_plan(experiment="other")) == []
+
+    def test_unknown_job_discarded(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan(names=("a", "b", "c"))
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        _record(checkpoint, plan, "c", 1.0)
+        shrunk = _plan(names=("a", "b"))
+        assert Checkpoint(path).load(shrunk) == []
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan()
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        _record(checkpoint, plan, "a", 1.0)
+        with path.open("a") as fh:
+            fh.write('{"torn wri\n')
+            fh.write("not json at all\n")
+        records = Checkpoint(path).load(plan)
+        assert [r.job for r in records] == ["a"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Checkpoint(tmp_path / "absent.jsonl").load(_plan()) == []
+
+
+class TestAtomicity:
+    def test_every_flush_leaves_valid_jsonl_and_no_tmp(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan()
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        for i, name in enumerate(("a", "b", "c")):
+            _record(checkpoint, plan, name, float(i))
+            lines = path.read_text().splitlines()
+            assert len(lines) == i + 1
+            for line in lines:
+                json.loads(line)  # every snapshot parses in full
+            assert not list(tmp_path.glob("*.tmp"))

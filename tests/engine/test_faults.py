@@ -1,0 +1,217 @@
+"""Fault injection against the executors: retries, timeouts, broken pools, resume."""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Checkpoint,
+    Job,
+    JobError,
+    JobPlan,
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+)
+from repro.obs.metrics import MetricsRegistry, ensure_core_metrics, use_registry
+
+#: Fast policy for tests: generous attempts, negligible real sleeping.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.001, jitter_frac=0.0)
+
+
+def _draw(params, seed_seq):
+    """Deterministic value from the job's spawned stream (picklable)."""
+    return float(np.random.default_rng(seed_seq).random())
+
+
+def _flaky_once(params, seed_seq):
+    """Fails the first time each (job, marker dir) pair runs, then succeeds.
+
+    The marker file carries the flakiness across attempts — and across
+    processes, so the same function exercises pool workers.
+    """
+    marker = Path(params["marker"])
+    if not marker.exists():
+        marker.write_text("failed once")
+        raise RuntimeError("transient failure")
+    return _draw(params, seed_seq)
+
+
+def _always_fails(params, seed_seq):
+    raise RuntimeError("permanent failure")
+
+
+def _sleeper(params, seed_seq):
+    import time
+
+    time.sleep(params.get("sleep_s", 5.0))
+    return 1.0
+
+
+def _worker_killer(params, seed_seq):
+    """Kills its host process once (first run), then returns normally."""
+    marker = Path(params["marker"])
+    if not marker.exists():
+        marker.write_text("killed worker")
+        os._exit(1)
+    return _draw(params, seed_seq)
+
+
+def _always_kills(params, seed_seq):
+    os._exit(1)
+
+
+def _plan(jobs, experiment="faulty", seed=5):
+    return JobPlan(experiment=experiment, seed=seed, jobs=jobs, reduce=lambda v: v)
+
+
+def _with_registry(fn):
+    registry = ensure_core_metrics(MetricsRegistry())
+    with use_registry(registry):
+        result = fn()
+    return result, registry
+
+
+class TestFlakyJobs:
+    def test_serial_retry_reproduces_clean_values(self, tmp_path):
+        clean = SerialExecutor().run(_plan([Job("j1", _draw), Job("j2", _draw)]))
+        flaky_jobs = [
+            Job("j1", _flaky_once, {"marker": str(tmp_path / "j1")}),
+            Job("j2", _flaky_once, {"marker": str(tmp_path / "j2")}),
+        ]
+        flaky, _ = _with_registry(
+            lambda: SerialExecutor(policy=FAST_RETRY).run(_plan(flaky_jobs))
+        )
+        # retried jobs re-derive the same spawned stream: identical bytes
+        assert flaky.values == clean.values
+        assert flaky.attempts == {"j1": 2, "j2": 2}
+        assert flaky.quarantined == []
+
+    def test_parallel_retry_reproduces_clean_values(self, tmp_path):
+        clean = SerialExecutor().run(_plan([Job("j1", _draw), Job("j2", _draw)]))
+        flaky_jobs = [
+            Job("j1", _flaky_once, {"marker": str(tmp_path / "j1")}),
+            Job("j2", _flaky_once, {"marker": str(tmp_path / "j2")}),
+        ]
+        flaky, _ = _with_registry(
+            lambda: ParallelExecutor(workers=2, policy=FAST_RETRY).run(_plan(flaky_jobs))
+        )
+        assert flaky.values == clean.values
+        assert flaky.attempts == {"j1": 2, "j2": 2}
+
+
+class TestQuarantine:
+    def test_serial_quarantines_and_completes(self):
+        jobs = [Job("ok", _draw), Job("doomed", _always_fails)]
+        execution, registry = _with_registry(
+            lambda: SerialExecutor(policy=FAST_RETRY).run(_plan(jobs))
+        )
+        assert set(execution.values) == {"ok"}
+        assert execution.quarantined == ["doomed"]
+        assert execution.attempts["doomed"] == 3
+        assert registry.counter("engine_jobs_quarantined_total").value == 1
+
+    def test_parallel_quarantines_and_completes(self):
+        jobs = [Job("ok", _draw), Job("doomed", _always_fails)]
+        execution, registry = _with_registry(
+            lambda: ParallelExecutor(workers=2, policy=FAST_RETRY).run(_plan(jobs))
+        )
+        assert set(execution.values) == {"ok"}
+        assert execution.quarantined == ["doomed"]
+        assert registry.counter("engine_jobs_quarantined_total").value == 1
+
+    def test_timeout_quarantines(self):
+        policy = RetryPolicy(max_attempts=2, timeout_s=0.05, backoff_base_s=0.0, jitter_frac=0.0)
+        jobs = [Job("slow", _sleeper, {"sleep_s": 5.0}), Job("ok", _draw)]
+        execution, registry = _with_registry(
+            lambda: SerialExecutor(policy=policy).run(_plan(jobs))
+        )
+        assert execution.quarantined == ["slow"]
+        assert execution.timed_out == ["slow"]
+        assert set(execution.values) == {"ok"}
+        assert registry.counter("engine_job_timeouts_total").value == 2
+
+    def test_no_policy_still_fails_fast(self):
+        with pytest.raises(JobError, match="'doomed'"):
+            SerialExecutor().run(_plan([Job("doomed", _always_fails)]))
+
+
+class TestBrokenPool:
+    def test_pool_respawn_recovers_and_preserves_values(self, tmp_path):
+        names = [f"j{i}" for i in range(6)]
+        clean = SerialExecutor().run(_plan([Job(n, _draw) for n in names]))
+        jobs = [Job(n, _draw) for n in names[:-1]]
+        jobs.append(Job(names[-1], _worker_killer, {"marker": str(tmp_path / "kill")}))
+        execution, registry = _with_registry(
+            lambda: ParallelExecutor(workers=2, policy=FAST_RETRY).run(_plan(jobs))
+        )
+        assert execution.values == clean.values
+        assert execution.pool_respawns >= 1
+        assert registry.counter("engine_pool_respawns_total").value >= 1
+
+    def test_poison_job_exhausts_respawns(self):
+        executor = ParallelExecutor(workers=2, policy=FAST_RETRY, max_pool_respawns=1)
+        with pytest.raises(JobError, match="<pool>"):
+            _with_registry(lambda: executor.run(_plan([Job("poison", _always_kills)])))
+
+
+class TestResume:
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        path = tmp_path / "faulty.checkpoint.jsonl"
+        plan = _plan([Job(n, _draw) for n in ("a", "b", "c", "d")])
+        full = SerialExecutor().run(plan, checkpoint=Checkpoint(path))
+        assert full.resumed == []
+        assert len(path.read_text().splitlines()) == 4
+
+        calls = []
+
+        def spy(params, seed_seq):
+            calls.append(params["name"])
+            return _draw(params, seed_seq)
+
+        spy_plan = _plan([Job(n, spy, {"name": n}) for n in ("a", "b", "c", "d")])
+        resumed = SerialExecutor().run(spy_plan, checkpoint=Checkpoint(path))
+        assert calls == []  # nothing re-ran
+        assert sorted(resumed.resumed) == ["a", "b", "c", "d"]
+        assert resumed.values == full.values
+
+    def test_partial_checkpoint_reruns_only_the_missing_jobs(self, tmp_path):
+        path = tmp_path / "faulty.checkpoint.jsonl"
+        names = ("a", "b", "c", "d")
+        plan = _plan([Job(n, _draw) for n in names])
+        baseline = SerialExecutor().run(plan)
+
+        # simulate a crash after two jobs: checkpoint only a and b
+        prefix_plan = _plan([Job(n, _draw) for n in names[:2]])
+        SerialExecutor().run(prefix_plan, checkpoint=Checkpoint(path))
+
+        calls = []
+
+        def spy(params, seed_seq):
+            calls.append(params["name"])
+            return _draw(params, seed_seq)
+
+        spy_plan = _plan([Job(n, spy, {"name": n}) for n in names])
+        resumed = SerialExecutor().run(spy_plan, checkpoint=Checkpoint(path))
+        assert calls == ["c", "d"]
+        assert sorted(resumed.resumed) == ["a", "b"]
+        # byte-identical to the uninterrupted run
+        assert resumed.values == baseline.values
+
+    def test_parallel_resume_matches_serial(self, tmp_path):
+        path = tmp_path / "faulty.checkpoint.jsonl"
+        names = tuple(f"j{i}" for i in range(8))
+        plan = _plan([Job(n, _draw) for n in names])
+        baseline = SerialExecutor().run(plan)
+        SerialExecutor().run(
+            _plan([Job(n, _draw) for n in names[:5]]), checkpoint=Checkpoint(path)
+        )
+        execution, _ = _with_registry(
+            lambda: ParallelExecutor(workers=2, policy=FAST_RETRY).run(
+                _plan([Job(n, _draw) for n in names]), checkpoint=Checkpoint(path)
+            )
+        )
+        assert execution.values == baseline.values
+        assert sorted(execution.resumed) == sorted(names[:5])
