@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -64,6 +64,14 @@ quick-resume:
 		cmp results-resume/$$f.csv /tmp/drs-resume-check/$$f.csv || exit 1; \
 	done
 	@echo "quick-resume: OK (killed + resumed run byte-identical to uninterrupted)"
+
+# perf smoke: the common-random-numbers sweep kernel must never be slower
+# than per-point estimation (quick profile: reduced iteration count; the
+# committed BENCH_bench_sweep_kernel.json holds the full-profile numbers)
+quick-sweep:
+	BENCH_TELEMETRY_DIR= SWEEP_BENCH_ITERATIONS=100000 \
+		$(PYTHON) -m pytest benchmarks/bench_sweep_kernel.py --benchmark-only -q
+	@echo "quick-sweep: OK (kernel at least as fast as per-point)"
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

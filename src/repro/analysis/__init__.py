@@ -31,8 +31,20 @@ from repro.analysis.exact import (
     total_combinations,
 )
 from repro.analysis.exhaustive import enumerate_success_probability, pair_connected
-from repro.analysis.montecarlo import sample_failure_matrix, simulate_curve, simulate_success_probability
-from repro.analysis.convergence import convergence_study, mean_absolute_deviation
+from repro.analysis.montecarlo import (
+    connectivity_levels,
+    failure_matrix_at,
+    failure_rank_matrix,
+    sample_failure_matrix,
+    simulate_curve,
+    simulate_grid,
+    simulate_success_probability,
+)
+from repro.analysis.convergence import (
+    convergence_study,
+    mean_absolute_deviation,
+    mean_absolute_deviation_grid,
+)
 from repro.analysis.cost import (
     detection_time_s,
     frame_size_sensitivity,
@@ -81,8 +93,13 @@ __all__ = [
     "pair_connected",
     "simulate_success_probability",
     "simulate_curve",
+    "simulate_grid",
     "sample_failure_matrix",
+    "failure_rank_matrix",
+    "failure_matrix_at",
+    "connectivity_levels",
     "mean_absolute_deviation",
+    "mean_absolute_deviation_grid",
     "convergence_study",
     "sweep_time_s",
     "max_nodes_within",

@@ -15,8 +15,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.exact import success_probability
-from repro.analysis.montecarlo import simulate_success_probability
+from repro.analysis.montecarlo import simulate_grid, simulate_success_probability
 from repro.simkit.rng import spawn_seedseq
+
+
+def _require_one_stream(rng: np.random.Generator | None, seed: int | None) -> None:
+    """Exactly one of ``rng``/``seed`` — both used to silently drop ``seed``."""
+    if rng is None and seed is None:
+        raise TypeError("pass either rng= or seed=")
+    if rng is not None and seed is not None:
+        raise TypeError("pass either rng= or seed=, not both")
 
 
 def mean_absolute_deviation(
@@ -32,8 +40,7 @@ def mean_absolute_deviation(
     stream keyed by ``(iterations, n, f)``, so one grid cell's estimate does
     not depend on which cells ran before it.
     """
-    if rng is None and seed is None:
-        raise TypeError("pass either rng= or seed=")
+    _require_one_stream(rng, seed)
     ns = range(max(2, f + 1), n_max + 1)
     deviations = [
         abs(
@@ -52,6 +59,44 @@ def mean_absolute_deviation(
     if not deviations:
         raise ValueError(f"empty N domain for f={f}, n_max={n_max}")
     return float(np.mean(deviations))
+
+
+def mean_absolute_deviation_grid(
+    f_values: tuple[int, ...],
+    iterations: int,
+    n_max: int = 63,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> dict[int, float]:
+    """MAD for *every* ``f`` in one sweep over the common-random-numbers kernel.
+
+    One :func:`~repro.analysis.montecarlo.simulate_grid` call per N serves
+    the whole f-family from a single sampling pass, so versus
+    :func:`mean_absolute_deviation` per f this pays the sampling cost once
+    instead of ``len(f_values)`` times.  With ``seed``, every N gets its own
+    spawned stream keyed by ``n`` alone, so estimates for any subset of
+    ``f_values`` reproduce the corresponding slice of the full sweep.
+    """
+    _require_one_stream(rng, seed)
+    if not f_values:
+        raise ValueError("f_values must name at least one failure count")
+    deviations: dict[int, list[float]] = {f: [] for f in f_values}
+    for n in range(max(2, min(f_values) + 1), n_max + 1):
+        fs = tuple(f for f in f_values if n >= max(2, f + 1))
+        if not fs:
+            continue
+        stream = (
+            rng
+            if rng is not None
+            else np.random.default_rng(spawn_seedseq(seed, f"mad-grid/n={n}"))
+        )
+        estimates = simulate_grid(n, fs, iterations, rng=stream)
+        for f in fs:
+            deviations[f].append(abs(estimates[f] - success_probability(n, f)))
+    empty = [f for f, d in deviations.items() if not d]
+    if empty:
+        raise ValueError(f"empty N domain for f={empty[0]}, n_max={n_max}")
+    return {f: float(np.mean(deviations[f])) for f in f_values}
 
 
 @dataclass(frozen=True)

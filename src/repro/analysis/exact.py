@@ -28,6 +28,8 @@ against exhaustive enumeration and against the paper's stated crossovers.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.analysis.combinatorics import comb0, covering_nic_failures
@@ -46,8 +48,14 @@ def total_combinations(n: int, f: int) -> int:
     return comb0(2 * n + 2, f)
 
 
+@lru_cache(maxsize=None)
 def bad_combinations(n: int, f: int) -> int:
-    """Failure sets of size ``f`` that disconnect the fixed pair under DRS."""
+    """Failure sets of size ``f`` that disconnect the fixed pair under DRS.
+
+    Memoized: :func:`crossover_n`'s linear scans and the crossovers
+    experiment's repeated checkpoint verification revisit the same (N, f)
+    grid, and each entry is a handful of big-int binomials worth skipping.
+    """
     _validate(n, f)
     both_hubs = comb0(2 * n, f - 2)
     one_hub = 2 * (comb0(2 * n, f - 1) - comb0(2 * n - 2, f - 1))

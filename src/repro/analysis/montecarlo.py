@@ -5,6 +5,17 @@ simulation of a networking system with N nodes and f failures implementing
 the DRS algorithm") and the hot path of the reproduction, so it is fully
 vectorized: one NumPy batch evaluates every iteration's failure set and the
 DRS reachability predicate without Python-level loops over iterations.
+
+Two estimator shapes ship:
+
+* :func:`simulate_success_probability` — one (N, f) point per call, sampling
+  a fresh failure matrix (:func:`sample_failure_matrix`).
+* :func:`simulate_grid` — the sweep kernel: one sampling pass per (N, batch)
+  serves the *entire* f-grid via common random numbers.  Each row's i.i.d.
+  uniform keys are ranked once (:func:`failure_rank_matrix`); the level-``f``
+  failure set is ``rank < f``, so the sets are nested in ``f`` and the whole
+  family of estimates falls out of one reduction to per-row breakdown
+  thresholds (:func:`connectivity_levels`).  See docs/model.md §9.
 """
 
 from __future__ import annotations
@@ -27,7 +38,13 @@ def _resolve_rng(
     (``names``), so every point is an independent stream: running a subset
     of a sweep reproduces exactly that slice of the full run, and grid
     points can be evaluated in any order or process.
+
+    Exactly one of ``rng`` and ``seed`` must be given.  Passing both used to
+    silently drop ``seed`` (and with it the documented per-point independent
+    streams); that is now a ``TypeError``.
     """
+    if rng is not None and seed is not None:
+        raise TypeError("pass either rng= or seed=, not both")
     if rng is not None:
         return rng
     if seed is None:
@@ -98,6 +115,8 @@ def simulate_success_probability(
     at ``batch * (2n+2)`` booleans regardless of the requested iteration
     count.
     """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
     rng = _resolve_rng(rng, seed, f"mc/n={n}/f={f}")
     remaining = iterations
     good = 0
@@ -116,6 +135,133 @@ def simulate_success_probability(
     return good / iterations
 
 
+def failure_rank_matrix(n: int, iterations: int, rng: np.random.Generator) -> np.ndarray:
+    """Integer matrix ``(iterations, 2n+2)``: each row is a uniform failure order.
+
+    Row ``i`` holds a uniformly random permutation rank per component — the
+    position of that component in the row's i.i.d.-uniform key ordering.  The
+    failure set at *any* level ``f`` is then simply ``ranks < f``, and those
+    sets are nested in ``f`` by construction: the common-random-numbers basis
+    of the sweep kernel.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    width = 2 * n + 2
+    keys = rng.random((iterations, width))
+    order = np.argsort(keys, axis=1)
+    ranks = np.empty_like(order)
+    np.put_along_axis(ranks, order, np.arange(width)[None, :], axis=1)
+    return ranks
+
+
+def failure_matrix_at(ranks: np.ndarray, f: int) -> np.ndarray:
+    """The level-``f`` failure indicator over a shared rank matrix.
+
+    Distributionally identical to :func:`sample_failure_matrix` at the same
+    ``f``; across levels the sets are nested (``f-1``'s failures are a subset
+    of ``f``'s for every row), which makes sweep estimates monotone in ``f``.
+    """
+    width = ranks.shape[1]
+    if not 0 <= f <= width:
+        raise ValueError(f"f must be in [0, {width}], got {f}")
+    return ranks < f
+
+
+def connectivity_levels(component_keys: np.ndarray, two_hop: bool = True) -> np.ndarray:
+    """Per row: the largest failure count ``f`` at which the pair survives.
+
+    The DRS pair predicate is monotone (failing more components never
+    reconnects the pair), so each row has a single breakdown threshold
+    ``S``: the pair at level ``f`` is connected iff ``f <= S``.  A route is
+    usable at level ``f`` iff every component on it has rank ``>= f``, so a
+    route tolerates ``min(ranks on route)`` failures and ``S`` is the rank
+    of::
+
+        critical = max(direct0, direct1, two-hop)
+
+    with ``direct_j = min(hub_j, A_j, B_j)`` and the two-hop term the min of
+    both hubs, the best surviving intermediate, and the best crossed
+    endpoint orientation.
+
+    ``component_keys`` is any row-wise comparable matrix over the component
+    axis — the raw uniform key matrix (the hot path: no sort needed) or a
+    :func:`failure_rank_matrix` (rank of a rank is itself).  Rank is a
+    monotone transform of key order, so the min/max expression commutes with
+    it: the expression picks the critical *element*, and counting the
+    strictly smaller entries in its row recovers its rank, i.e. ``S``.
+    This is the one-pass form of evaluating :func:`pair_connected_vec` at
+    every ``f`` over the shared draw (``connectivity_levels(ranks) >= f``
+    equals ``pair_connected_vec(ranks < f)`` exactly).
+    """
+    k = component_keys
+    direct0 = np.minimum(np.minimum(k[:, 0], k[:, 2]), k[:, 4])
+    direct1 = np.minimum(np.minimum(k[:, 1], k[:, 3]), k[:, 5])
+    critical = np.maximum(direct0, direct1)
+    if two_hop and k.shape[1] > 6:
+        # Best intermediate: needs both of its NICs; any one suffices.
+        inter = np.minimum(k[:, 6::2], k[:, 7::2]).max(axis=1)
+        both_hubs = np.minimum(k[:, 0], k[:, 1])
+        crossed = np.maximum(np.minimum(k[:, 2], k[:, 5]), np.minimum(k[:, 3], k[:, 4]))
+        critical = np.maximum(critical, np.minimum(np.minimum(both_hubs, inter), crossed))
+    return (k < critical[:, None]).sum(axis=1)
+
+
+def simulate_grid(
+    n: int,
+    fs: tuple[int, ...],
+    iterations: int,
+    rng: np.random.Generator | None = None,
+    two_hop: bool = True,
+    batch: int = 200_000,
+    seed: int | None = None,
+) -> dict[int, float]:
+    """Monte Carlo P[Success] at one N for *every* ``f`` in ``fs`` at once.
+
+    The sweep kernel: rank one i.i.d. uniform key matrix per batch
+    (:func:`failure_rank_matrix`), reduce each row to its breakdown
+    threshold (:func:`connectivity_levels`), and read the whole f-grid off
+    that single sampling pass — common random numbers across ``f``.  Versus
+    ``len(fs)`` independent :func:`simulate_success_probability` calls this
+    pays the sampling cost once instead of ``len(fs)`` times, and the shared
+    draws make the estimates monotone in ``f`` by construction (nested
+    failure sets), so Figure 2/3 curve crossovers cannot jitter.
+
+    Seeding follows :func:`simulate_success_probability`'s spawned-stream
+    discipline: with ``seed``, the stream is keyed by ``n`` alone — never by
+    ``fs`` — so any subset of the f-grid reproduces exactly that slice of
+    the full sweep.
+
+    Returns ``{f: estimate}`` in the order of ``fs``.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if len(fs) == 0:
+        raise ValueError("fs must name at least one failure count")
+    width = 2 * n + 2
+    for f in fs:
+        if not 0 <= f <= width:
+            raise ValueError(f"f must be in [0, {width}], got {f}")
+    rng = _resolve_rng(rng, seed, f"mc-grid/n={n}")
+    # survivors[s] accumulates rows with breakdown threshold >= s, so the
+    # whole f-grid (indeed every f in [0, 2n+2]) reads off one histogram.
+    survivors = np.zeros(width + 1, dtype=np.int64)
+    remaining = iterations
+    started = perf_counter()
+    while remaining > 0:
+        size = min(remaining, batch)
+        levels = connectivity_levels(rng.random((size, width)), two_hop=two_hop)
+        counts = np.bincount(levels, minlength=width + 1)
+        survivors += counts[::-1].cumsum()[::-1]
+        remaining -= size
+        hb = heartbeat()
+        if hb is not None:
+            hb.add(size)
+    publish_mc_throughput(iterations, perf_counter() - started)
+    return {f: int(survivors[f]) / iterations for f in fs}
+
+
 def simulate_curve(
     f: int,
     iterations: int,
@@ -130,10 +276,16 @@ def simulate_curve(
     With ``rng``, one shared stream is threaded through the points (each
     point's draws then depend on its predecessors).  With ``seed``, every
     point gets its own spawned stream, so any sub-range of N reproduces the
-    corresponding slice of the full curve.
+    corresponding slice of the full curve.  Passing both is a ``TypeError``
+    (it used to silently drop ``seed``), and an empty N range raises
+    ``ValueError`` exactly like :func:`repro.analysis.exact.success_curve`.
     """
+    if rng is not None and seed is not None:
+        raise TypeError("pass either rng= or seed=, not both")
     if n_min is None:
         n_min = max(2, f + 1)
+    if n_min > n_max:
+        raise ValueError(f"empty N range [{n_min}, {n_max}]")
     ns = np.arange(n_min, n_max + 1)
     ps = np.array(
         [

@@ -32,7 +32,7 @@ from repro.engine.executors import (
     SerialExecutor,
     make_executor,
 )
-from repro.engine.jobs import Job, JobFn, JobPlan
+from repro.engine.jobs import Job, JobFn, JobPlan, curve_value
 from repro.engine.retry import (
     FAIL_FAST,
     JobError,
@@ -96,6 +96,7 @@ __all__ = [
     "Job",
     "JobFn",
     "JobPlan",
+    "curve_value",
     "JobError",
     "JobTimeoutError",
     "JobOutcome",

@@ -7,6 +7,19 @@ module expresses that by building a :class:`JobPlan`: a list of
 dict — and a ``reduce`` callable that assembles the finished values into the
 :class:`~repro.experiments.base.ExperimentResult`.
 
+Granularity
+-----------
+
+A job should be the *cheapest independently reproducible* unit, not the
+smallest expressible one.  The Monte Carlo sweeps used to ship one job per
+(N, f) grid point; the common-random-numbers kernel
+(:func:`repro.analysis.montecarlo.simulate_grid`) evaluates the entire
+f-family at one N from a single sampling pass, so those plans now emit one
+*curve-level* job per N whose value is a ``{str(f): estimate}`` row — an
+order of magnitude fewer jobs to pickle, schedule, and checkpoint, with the
+f-dimension's sampling cost paid once in-kernel.  :func:`curve_value` is the
+reduction-side accessor for such row values.
+
 Seeding contract
 ----------------
 
@@ -34,6 +47,23 @@ from repro.simkit.rng import seed_fingerprint, spawn_seedseq
 #: ``params`` is the job's own params dict; ``seed_seq`` is its spawned child
 #: :class:`numpy.random.SeedSequence` (deterministic jobs may ignore it).
 JobFn = Callable[[dict[str, Any], np.random.SeedSequence], Any]
+
+
+def curve_value(
+    values: dict[str, Any], job_name: str, key: str, default: float = float("nan")
+) -> Any:
+    """One entry of a curve-level job's row value, quarantine-tolerant.
+
+    Curve-level jobs return ``{key: value}`` rows (string keys — the
+    checkpoint codec round-trips only string-keyed dicts).  A quarantined
+    job is absent from ``values`` entirely; a key outside the job's grid
+    slice is absent from its row.  Both read as ``default`` so sweep
+    reducers keep their grid shape with NaN holes.
+    """
+    row = values.get(job_name)
+    if not isinstance(row, dict):
+        return default
+    return row.get(key, default)
 
 
 @dataclass(frozen=True)

@@ -2,50 +2,149 @@
 
 "For f=2 the P[S] surpasses 0.99 at 18 nodes.  For f=3 the P[S] surpasses
 0.99 at 3[2] nodes, and for f=4 the P[S] surpasses 0.99 at 45 nodes."
+
+With ``mc_iterations > 0`` the analytic table gains a Monte Carlo
+validation column: one curve-level engine job per N runs the
+common-random-numbers sweep kernel
+(:func:`repro.analysis.montecarlo.simulate_grid`) over the whole f-family,
+and the reduction reads each f's simulated crossover off the shared
+estimates.  Because the per-N draws are shared across f (nested failure
+sets), the simulated crossovers are monotone in f *by construction* — they
+cannot jitter past each other the way independently sampled curves did.
 """
 
 from __future__ import annotations
 
-from repro.analysis import crossover_n, success_probability
-from repro.engine import ExperimentSpec, register
+from typing import Any
+
+import numpy as np
+
+from repro.analysis import crossover_n, simulate_grid, success_probability
+from repro.engine import ExperimentSpec, Job, JobPlan, curve_value, register, run_plan
 from repro.experiments.base import ExperimentResult
 
 PAPER_CROSSOVERS = {2: 18, 3: 32, 4: 45}
 
+F_VALUES = (2, 3, 4, 5, 6, 7, 8, 9, 10)
 
-def run(f_values: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10), threshold: float = 0.99) -> ExperimentResult:
-    """Compute 0.99 crossovers for each f and compare with the paper."""
-    result = ExperimentResult("crossovers")
-    rows = []
-    for f in f_values:
-        n_star = crossover_n(f, threshold=threshold)
-        paper = PAPER_CROSSOVERS.get(f, "-")
-        rows.append(
-            [
-                f,
-                n_star,
-                paper,
-                float(success_probability(n_star, f)),
-                float(success_probability(n_star - 1, f)) if n_star > f + 1 else float("nan"),
-            ]
+
+def _mc_curve(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[str, float]:
+    """Engine job: sweep-kernel P[Success] at one N for every requested f."""
+    rng = np.random.default_rng(seed_seq)
+    estimates = simulate_grid(params["n"], tuple(params["fs"]), params["iterations"], rng)
+    return {str(f): p for f, p in estimates.items()}
+
+
+def build_plan(
+    f_values: tuple[int, ...] = F_VALUES,
+    threshold: float = 0.99,
+    mc_iterations: int = 0,
+    seed: int = 2000,
+) -> JobPlan:
+    """Analytic crossovers, plus one curve-level MC job per probed N.
+
+    The probe domain is sized from the (memoized) analytic scan: a little
+    past the largest crossover, so every f's simulated crossing falls
+    inside the sampled range.
+    """
+    n_stars = {f: crossover_n(f, threshold=threshold) for f in f_values}
+    jobs = []
+    n_lo = max(2, min(f_values) + 1)
+    n_hi = max(n_stars.values()) + 2
+    if mc_iterations > 0:
+        for n in range(n_lo, n_hi + 1):
+            fs = [f for f in f_values if n >= max(2, f + 1)]
+            jobs.append(
+                Job(
+                    name=f"mc/n={n}",
+                    fn=_mc_curve,
+                    params={"n": n, "fs": fs, "iterations": mc_iterations},
+                )
+            )
+
+    def reduce(values: dict[str, Any]) -> ExperimentResult:
+        result = ExperimentResult("crossovers")
+        result.meta = {
+            "seed": seed,
+            "f_values": list(f_values),
+            "threshold": threshold,
+            "mc_iterations": mc_iterations,
+        }
+        rows = []
+        for f in f_values:
+            n_star = n_stars[f]
+            paper = PAPER_CROSSOVERS.get(f, "-")
+            rows.append(
+                [
+                    f,
+                    n_star,
+                    paper,
+                    float(success_probability(n_star, f)),
+                    float(success_probability(n_star - 1, f)) if n_star > f + 1 else float("nan"),
+                ]
+            )
+        result.add_table(
+            "crossovers",
+            ["f", f"N where P[S] > {threshold}", "paper", "P[S] at N*", "P[S] at N*-1"],
+            rows,
+            caption="0.99 crossover cluster sizes (paper states f=2,3,4)",
         )
-    result.add_table(
-        "crossovers",
-        ["f", f"N where P[S] > {threshold}", "paper", "P[S] at N*", "P[S] at N*-1"],
-        rows,
-        caption="0.99 crossover cluster sizes (paper states f=2,3,4)",
+        matches = all(crossover_n(f, threshold) == n for f, n in PAPER_CROSSOVERS.items())
+        result.note(f"paper checkpoints (18/32/45) reproduced exactly: {matches}")
+        if mc_iterations > 0:
+            mc_rows = []
+            for f in f_values:
+                mc_star = None
+                for n in range(max(2, f + 1), n_hi + 1):
+                    estimate = curve_value(values, f"mc/n={n}", str(f))
+                    if estimate > threshold:  # NaN (quarantined) compares False
+                        mc_star = n
+                        break
+                mc_rows.append(
+                    [f, n_stars[f], mc_star if mc_star is not None else float("nan")]
+                )
+            result.add_table(
+                "mc_crossovers",
+                ["f", "analytic N*", f"simulated N* ({mc_iterations} iterations)"],
+                mc_rows,
+                caption="Sweep-kernel validation: simulated vs analytic crossovers",
+            )
+            result.note(
+                "simulated crossovers share per-N draws across f (common random "
+                "numbers), so they are monotone in f by construction"
+            )
+        return result
+
+    return JobPlan(experiment="crossovers", seed=seed, jobs=jobs, reduce=reduce)
+
+
+def run(
+    f_values: tuple[int, ...] = F_VALUES,
+    threshold: float = 0.99,
+    mc_iterations: int = 0,
+    seed: int = 2000,
+    executor: Any | None = None,
+    checkpoint: Any | None = None,
+) -> ExperimentResult:
+    """Compute 0.99 crossovers for each f and compare with the paper.
+
+    ``mc_iterations > 0`` adds the sweep-kernel validation table (one
+    curve-level job per probed N); the analytic table is always computed in
+    the reduction.
+    """
+    plan = build_plan(
+        f_values=f_values, threshold=threshold, mc_iterations=mc_iterations, seed=seed
     )
-    matches = all(crossover_n(f, threshold) == n for f, n in PAPER_CROSSOVERS.items())
-    result.note(f"paper checkpoints (18/32/45) reproduced exactly: {matches}")
-    return result
+    return run_plan(plan, executor, checkpoint=checkpoint)
 
 
 register(
     ExperimentSpec(
         name="crossovers",
         run=run,
-        profiles={"quick": {}, "full": {}},
+        profiles={"quick": {"mc_iterations": 2_000}, "full": {"mc_iterations": 20_000}},
+        parallel=True,
         order=40,
-        description="prose 0.99 crossovers (18/32/45)",
+        description="prose 0.99 crossovers (18/32/45), with MC validation",
     )
 )

@@ -5,12 +5,17 @@ for f = 2..10 simultaneous failures over the paper's domain f < N < 64,
 optionally overlaid with Monte Carlo estimates from the validation
 simulator.
 
-The Monte Carlo overlay decomposes into one engine job per (f, N) point,
-each with its own seed spawned from ``(seed, "figure2", job name)``.  A
-historical seed-reuse bug threaded one generator sequentially through all
-f-curves, so the ``f=3`` overlay depended on whether ``f=2`` ran first;
-with per-point spawned streams any subset of curves or points reproduces
-the full run, and serial/parallel backends agree bit for bit.
+The Monte Carlo overlay decomposes into one *curve-level* engine job per N:
+the common-random-numbers sweep kernel
+(:func:`repro.analysis.montecarlo.simulate_grid`) evaluates the entire
+f-family at that N from a single sampling pass, so the f-dimension costs
+one draw instead of ``len(f_values)`` draws and the overlay curves are
+monotone in f by construction (nested failure sets — no jittery crossings).
+Each job's seed is spawned from ``(seed, "figure2", job name)`` and keyed by
+N alone, never by the f-list, so any subset of curves or points reproduces
+the full run and serial/parallel backends agree bit for bit.  (A historical
+seed-reuse bug threaded one generator sequentially through all f-curves, so
+the ``f=3`` overlay depended on whether ``f=2`` ran first.)
 """
 
 from __future__ import annotations
@@ -19,17 +24,22 @@ from typing import Any
 
 import numpy as np
 
-from repro.analysis import simulate_success_probability, success_curve
-from repro.engine import ExperimentSpec, Job, JobPlan, register, run_plan
+from repro.analysis import simulate_grid, success_curve
+from repro.engine import ExperimentSpec, Job, JobPlan, curve_value, register, run_plan
 from repro.experiments.base import ExperimentResult
 
 F_VALUES = tuple(range(2, 11))
 
 
-def _mc_point(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> float:
-    """Engine job: Monte Carlo P[Success] at one (N, f) grid point."""
+def _mc_curve(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[str, float]:
+    """Engine job: Monte Carlo P[Success] at one N for every requested f.
+
+    Returns a string-keyed row (``{"f": estimate}``) so the value
+    round-trips exactly through the checkpoint codec.
+    """
     rng = np.random.default_rng(seed_seq)
-    return simulate_success_probability(params["n"], params["f"], params["iterations"], rng)
+    estimates = simulate_grid(params["n"], tuple(params["fs"]), params["iterations"], rng)
+    return {str(f): p for f, p in estimates.items()}
 
 
 def build_plan(
@@ -38,22 +48,22 @@ def build_plan(
     mc_iterations: int = 0,
     seed: int = 2000,
 ) -> JobPlan:
-    """Decompose Figure 2 into one job per Monte Carlo (f, N) point.
+    """Decompose Figure 2 into one curve-level Monte Carlo job per N.
 
     The Equation-1 curves are closed-form and cheap; they are computed in
     the reduction rather than shipped as jobs.
     """
     jobs = []
     if mc_iterations > 0:
-        for f in f_values:
-            for n in range(max(2, f + 1), n_max + 1):
-                jobs.append(
-                    Job(
-                        name=f"mc/f={f}/n={n}",
-                        fn=_mc_point,
-                        params={"n": n, "f": f, "iterations": mc_iterations},
-                    )
+        for n in range(max(2, min(f_values) + 1), n_max + 1):
+            fs = [f for f in f_values if n >= max(2, f + 1)]
+            jobs.append(
+                Job(
+                    name=f"mc/n={n}",
+                    fn=_mc_curve,
+                    params={"n": n, "fs": fs, "iterations": mc_iterations},
                 )
+            )
 
     def reduce(values: dict[str, Any]) -> ExperimentResult:
         result = ExperimentResult("figure2")
@@ -79,7 +89,7 @@ def build_plan(
             for f in f_values:
                 ns = np.arange(max(2, f + 1), n_max + 1)
                 # quarantined jobs are absent: their points plot as NaN gaps
-                ps = np.array([values.get(f"mc/f={f}/n={n}", float("nan")) for n in ns])
+                ps = np.array([curve_value(values, f"mc/n={n}", str(f)) for n in ns])
                 mc_curves[f"sim f={f}"] = (ns, ps)
             result.add_series(
                 "montecarlo",

@@ -6,9 +6,16 @@ as a function of iteration count (log10 x-axis).  The paper's stated
 checkpoint: with 1,000 iterations the deviation is below ~0.01 for every f,
 and it converges toward zero.
 
-Each (f, iteration-count) grid cell is one engine job with an independently
-spawned stream, so cells are reproducible in isolation and the grid runs on
-any executor backend with identical output.
+The sweep decomposes into one *column-level* engine job per iteration
+count: inside the job, every N of the domain is evaluated once by the
+common-random-numbers kernel
+(:func:`repro.analysis.montecarlo.simulate_grid`), which serves the entire
+f-family from a single sampling pass — the f-dimension no longer multiplies
+the sampling cost, and the whole grid is ``len(iteration_grid)`` jobs
+instead of ``len(f_values) * len(iteration_grid)``.  Per-N streams are
+spawned from the job's own seed and keyed by N alone, so any subset of
+f-curves reproduces the corresponding slice of the full grid on any
+executor backend.
 """
 
 from __future__ import annotations
@@ -17,9 +24,9 @@ from typing import Any
 
 import numpy as np
 
-from repro.analysis import mean_absolute_deviation
+from repro.analysis import mean_absolute_deviation_grid
 from repro.analysis.convergence import ConvergenceStudy
-from repro.engine import ExperimentSpec, Job, JobPlan, register, run_plan
+from repro.engine import ExperimentSpec, Job, JobPlan, curve_value, register, run_plan
 from repro.experiments.base import ExperimentResult
 from repro.simkit.rng import seed_fingerprint
 
@@ -27,16 +34,20 @@ ITERATION_GRID = (10, 30, 100, 300, 1_000, 3_000, 10_000)
 F_VALUES = tuple(range(2, 11))
 
 
-def _mad_cell(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> float:
-    """Engine job: MAD over the N domain for one (f, iterations) cell."""
-    # mean_absolute_deviation spawns per-N children from an integer seed;
-    # fingerprint this job's spawned sequence to stay inside that contract.
-    return mean_absolute_deviation(
-        params["f"],
+def _mad_column(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[str, float]:
+    """Engine job: MAD for every f at one iteration count (one grid column).
+
+    ``mean_absolute_deviation_grid`` spawns per-N children from an integer
+    seed; fingerprint this job's spawned sequence to stay inside that
+    contract.  Returns a string-keyed row for the checkpoint codec.
+    """
+    mads = mean_absolute_deviation_grid(
+        tuple(params["fs"]),
         params["iterations"],
         n_max=params["n_max"],
         seed=seed_fingerprint(seed_seq),
     )
+    return {str(f): mad for f, mad in mads.items()}
 
 
 def build_plan(
@@ -45,22 +56,21 @@ def build_plan(
     n_max: int = 63,
     seed: int = 2000,
 ) -> JobPlan:
-    """One job per (f, iteration-count) cell of the convergence grid."""
+    """One curve-family job per iteration count (all f evaluated in-kernel)."""
     jobs = [
         Job(
-            name=f"mad/f={f}/iters={iters}",
-            fn=_mad_cell,
-            params={"f": f, "iterations": iters, "n_max": n_max},
+            name=f"mad/iters={iters}",
+            fn=_mad_column,
+            params={"fs": list(f_values), "iterations": iters, "n_max": n_max},
         )
-        for f in f_values
         for iters in iteration_grid
     ]
 
     def reduce(values: dict[str, Any]) -> ExperimentResult:
-        # quarantined cells are absent: NaN keeps the grid shape intact
+        # quarantined columns are absent: NaN keeps the grid shape intact
         mad = np.array(
             [
-                [values.get(f"mad/f={f}/iters={iters}", float("nan")) for iters in iteration_grid]
+                [curve_value(values, f"mad/iters={iters}", str(f)) for iters in iteration_grid]
                 for f in f_values
             ]
         )

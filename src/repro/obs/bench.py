@@ -41,6 +41,12 @@ def _bench_row(bench: Any) -> dict[str, Any]:
         value = getattr(inner, field, None)
         if isinstance(value, (int, float)):
             row[field] = float(value)
+    # benchmark.extra_info entries (e.g. a measured speedup ratio) ride along
+    extra = getattr(bench, "extra_info", None)
+    if isinstance(extra, dict) and extra:
+        row["extra_info"] = {
+            k: (float(v) if isinstance(v, (int, float)) else str(v)) for k, v in extra.items()
+        }
     return row
 
 

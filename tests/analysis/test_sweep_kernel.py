@@ -1,0 +1,217 @@
+"""The common-random-numbers sweep kernel: equivalence, invariants, hardening.
+
+Four layers of evidence that ``simulate_grid`` is a faithful drop-in for a
+family of per-point ``simulate_success_probability`` calls:
+
+* exact predicate equivalence — the per-row breakdown threshold agrees with
+  ``pair_connected_vec`` at *every* f over the same shared rank matrix;
+* structural invariants of the shared draw — nested failure sets across f,
+  and estimates monotone in f by construction;
+* statistical equivalence — grid estimates agree with Equation 1 (and with
+  the per-point estimator) within Wilson 99.9% intervals;
+* regression tests for the estimator API hardening (iterations >= 1,
+  rng=/seed= exclusivity, empty N ranges).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    connectivity_levels,
+    failure_matrix_at,
+    failure_rank_matrix,
+    sample_failure_matrix,
+    simulate_curve,
+    simulate_grid,
+    simulate_success_probability,
+    success_probability,
+)
+from repro.analysis.convergence import mean_absolute_deviation, mean_absolute_deviation_grid
+from repro.analysis.montecarlo import pair_connected_vec
+from repro.analysis.stats import wilson_interval
+
+PINNED_SEED = 424242
+
+
+# ---------------------------------------------------------------- exactness
+
+
+@pytest.mark.parametrize("n", [2, 3, 6, 10])
+@pytest.mark.parametrize("two_hop", [True, False])
+def test_levels_equal_pair_connected_vec_at_every_f(n, two_hop):
+    rng = np.random.default_rng(PINNED_SEED)
+    ranks = failure_rank_matrix(n, 1_000, rng)
+    levels = connectivity_levels(ranks, two_hop=two_hop)
+    for f in range(0, 2 * n + 3):
+        expected = pair_connected_vec(failure_matrix_at(ranks, f), two_hop=two_hop)
+        assert ((levels >= f) == expected).all(), (n, f, two_hop)
+
+
+@pytest.mark.parametrize("n", [2, 5, 12])
+def test_levels_identical_on_keys_and_on_ranks(n):
+    # rank is a monotone transform of key order, so the kernel may skip the
+    # argsort entirely: the critical-element expression must agree either way
+    rng = np.random.default_rng(PINNED_SEED)
+    width = 2 * n + 2
+    keys = rng.random((800, width))
+    order = np.argsort(keys, axis=1)
+    ranks = np.empty_like(order)
+    np.put_along_axis(ranks, order, np.arange(width)[None, :], axis=1)
+    for two_hop in (True, False):
+        assert (
+            connectivity_levels(keys, two_hop=two_hop)
+            == connectivity_levels(ranks, two_hop=two_hop)
+        ).all()
+
+
+# ------------------------------------------------------ structural invariants
+
+
+def test_nested_failure_sets_across_f():
+    rng = np.random.default_rng(PINNED_SEED)
+    ranks = failure_rank_matrix(8, 500, rng)
+    for f in range(1, 2 * 8 + 3):
+        smaller = failure_matrix_at(ranks, f - 1)
+        larger = failure_matrix_at(ranks, f)
+        assert (larger.sum(axis=1) == f).all()
+        assert (smaller <= larger).all(), f"level {f - 1} failures not nested in level {f}"
+
+
+def test_failure_matrix_at_matches_sampler_distribution():
+    # same marginals as sample_failure_matrix: each component fails f/(2n+2)
+    rng = np.random.default_rng(PINNED_SEED)
+    n, f, iters = 6, 3, 40_000
+    nested = failure_matrix_at(failure_rank_matrix(n, iters, rng), f)
+    assert np.allclose(nested.mean(axis=0), f / (2 * n + 2), atol=0.01)
+    assert (nested.sum(axis=1) == f).all()
+
+
+def test_grid_estimates_monotone_in_f_by_construction():
+    estimates = simulate_grid(20, tuple(range(0, 43)), 5_000, seed=PINNED_SEED)
+    values = list(estimates.values())
+    assert values[0] == 1.0  # zero failures never disconnect the pair
+    assert values[-1] == 0.0  # all components failed always does
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_grid_independent_of_f_subset():
+    # the stream is keyed by n alone: any f-slice reproduces the full sweep
+    full = simulate_grid(15, (2, 3, 4, 5), 10_000, seed=PINNED_SEED)
+    alone = simulate_grid(15, (4,), 10_000, seed=PINNED_SEED)
+    assert full[4] == alone[4]
+
+
+def test_grid_deterministic_for_seed_and_sensitive_to_it():
+    a = simulate_grid(10, (2, 3), 5_000, seed=1)
+    b = simulate_grid(10, (2, 3), 5_000, seed=1)
+    c = simulate_grid(10, (2, 3), 5_000, seed=2)
+    assert a == b
+    assert a != c
+
+
+def test_grid_batching_does_not_change_counts():
+    one = simulate_grid(9, (2, 4), 7_000, rng=np.random.default_rng(3))
+    split = simulate_grid(9, (2, 4), 7_000, rng=np.random.default_rng(3), batch=999)
+    # same generator, same total draw count per batch element ordering differs;
+    # estimates stay within a tight band of each other and of the exact value
+    for f in (2, 4):
+        assert abs(one[f] - split[f]) < 0.02
+
+
+# ------------------------------------------------- statistical equivalence
+
+
+@pytest.mark.parametrize("n,f", [(n, f) for n in (4, 8, 16) for f in (2, 3, 4)])
+def test_grid_agrees_with_equation1_within_wilson_999(n, f):
+    iterations = 20_000
+    estimates = simulate_grid(n, (2, 3, 4), iterations, seed=PINNED_SEED)
+    successes = round(estimates[f] * iterations)
+    interval = wilson_interval(successes, iterations, confidence=0.999)
+    exact = success_probability(n, f)
+    assert interval.low <= exact <= interval.high, (
+        f"n={n} f={f}: exact {exact:.6f} outside Wilson 99.9% CI "
+        f"[{interval.low:.6f}, {interval.high:.6f}] around grid {estimates[f]:.6f}"
+    )
+
+
+@pytest.mark.parametrize("n,f", [(8, 3), (20, 5)])
+def test_grid_agrees_with_per_point_within_wilson_999(n, f):
+    iterations = 20_000
+    grid = simulate_grid(n, (f,), iterations, seed=PINNED_SEED)[f]
+    point = simulate_success_probability(n, f, iterations, seed=PINNED_SEED)
+    g = wilson_interval(round(grid * iterations), iterations, confidence=0.999)
+    p = wilson_interval(round(point * iterations), iterations, confidence=0.999)
+    # two independent estimators of the same quantity: intervals must overlap
+    assert g.low <= p.high and p.low <= g.high, (n, f, grid, point)
+
+
+def test_mad_grid_matches_per_f_mad_scale():
+    per_f = mean_absolute_deviation(3, 1_000, n_max=30, seed=PINNED_SEED)
+    grid = mean_absolute_deviation_grid((2, 3, 4), 1_000, n_max=30, seed=PINNED_SEED)
+    assert set(grid) == {2, 3, 4}
+    # both are ~1/sqrt(iterations)-scale errors against the same closed form
+    assert 0 < grid[3] < 0.02 and 0 < per_f < 0.02
+
+
+# ----------------------------------------------------------- API hardening
+
+
+def test_iterations_zero_raises_value_error_not_zero_division():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="iterations"):
+        simulate_success_probability(8, 3, 0, rng)
+    with pytest.raises(ValueError, match="iterations"):
+        simulate_grid(8, (3,), 0, rng=rng)
+
+
+def test_rng_and_seed_together_raise_type_error():
+    rng = np.random.default_rng(0)
+    with pytest.raises(TypeError, match="not both"):
+        simulate_success_probability(8, 3, 100, rng=rng, seed=1)
+    with pytest.raises(TypeError, match="not both"):
+        simulate_grid(8, (3,), 100, rng=rng, seed=1)
+    with pytest.raises(TypeError, match="not both"):
+        simulate_curve(3, 100, rng=rng, seed=1)
+    with pytest.raises(TypeError, match="not both"):
+        mean_absolute_deviation(3, 100, rng=rng, seed=1)
+    with pytest.raises(TypeError, match="not both"):
+        mean_absolute_deviation_grid((3,), 100, rng=rng, seed=1)
+
+
+def test_neither_rng_nor_seed_still_raises():
+    with pytest.raises(TypeError, match="either"):
+        simulate_grid(8, (3,), 100)
+    with pytest.raises(TypeError, match="either"):
+        simulate_success_probability(8, 3, 100)
+
+
+def test_simulate_curve_empty_range_raises_like_exact():
+    from repro.analysis import success_curve
+
+    with pytest.raises(ValueError, match="empty N range"):
+        simulate_curve(3, 100, seed=1, n_min=20, n_max=10)
+    with pytest.raises(ValueError, match="empty N range"):
+        success_curve(3, n_min=20, n_max=10)
+    # implicit n_min = f+1 beyond n_max is the same empty range
+    with pytest.raises(ValueError, match="empty N range"):
+        simulate_curve(12, 100, seed=1, n_max=10)
+
+
+def test_grid_validation_errors():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="at least one"):
+        simulate_grid(8, (), 100, rng=rng)
+    with pytest.raises(ValueError, match="f must be"):
+        simulate_grid(8, (19,), 100, rng=rng)
+    with pytest.raises(ValueError, match="n >= 2"):
+        failure_rank_matrix(1, 10, rng)
+    with pytest.raises(ValueError, match="f must be"):
+        failure_matrix_at(failure_rank_matrix(4, 5, rng), 11)
+
+
+def test_sampler_and_rank_basis_draw_identical_key_matrices():
+    # both consume one uniform matrix per call: a shared generator stays in
+    # lockstep whichever sampler shape a caller mixes
+    a = sample_failure_matrix(5, 3, 50, np.random.default_rng(11))
+    b = failure_matrix_at(failure_rank_matrix(5, 50, np.random.default_rng(11)), 3)
+    assert (a == b).all()

@@ -48,7 +48,7 @@ def test_manifest_records_engine_provenance(tmp_path):
 
 
 def test_non_parallel_experiment_ignores_jobs(tmp_path):
-    assert runner.main(["--quick", "--jobs", "2", "--out", str(tmp_path), "crossovers"]) == 0
-    manifest = json.loads((tmp_path / "crossovers.manifest.json").read_text())
+    assert runner.main(["--quick", "--jobs", "2", "--out", str(tmp_path), "figure1"]) == 0
+    manifest = json.loads((tmp_path / "figure1.manifest.json").read_text())
     assert manifest["extra"]["backend"] == "direct"
     assert manifest["extra"]["workers"] == 1
