@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep quick-flight bench-gate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -72,6 +72,38 @@ quick-sweep:
 	BENCH_TELEMETRY_DIR= SWEEP_BENCH_ITERATIONS=100000 \
 		$(PYTHON) -m pytest benchmarks/bench_sweep_kernel.py --benchmark-only -q
 	@echo "quick-sweep: OK (kernel at least as fast as per-point)"
+
+# flight-recorder smoke: a parallel quick run must leave a tailable flight
+# stream that exports to a schema-valid Perfetto trace with one track per
+# worker, replays in the watch dashboard, and renders via obs --json
+quick-flight:
+	rm -rf /tmp/drs-flight
+	$(PYTHON) -m repro.experiments.runner --quick figure2 --jobs 4 --out /tmp/drs-flight
+	test -f /tmp/drs-flight/figure2.flight.jsonl
+	grep -q '"kind": "worker.spawn"' /tmp/drs-flight/figure2.flight.jsonl
+	grep -q '"kind": "run.end"' /tmp/drs-flight/figure2.flight.jsonl
+	grep -q flight_recorder /tmp/drs-flight/figure2.manifest.json
+	$(PYTHON) -m repro obs export-trace /tmp/drs-flight/figure2.flight.jsonl
+	$(PYTHON) -c "import json; from repro.obs.spans import validate_chrome_trace; \
+		trace = json.load(open('/tmp/drs-flight/figure2.chrome.json')); \
+		problems = validate_chrome_trace(trace); assert not problems, problems; \
+		tracks = {e['args']['name'] for e in trace['traceEvents'] \
+			if e.get('ph') == 'M' and e.get('name') == 'process_name'}; \
+		workers = sum(1 for t in tracks if t.startswith('worker ')); \
+		assert 'scheduler' in tracks and workers == 4, tracks"
+	$(PYTHON) -m repro obs watch /tmp/drs-flight/figure2.flight.jsonl --once --no-color
+	$(PYTHON) -m repro obs --json /tmp/drs-flight/figure2.flight.jsonl > /dev/null
+	@echo "quick-flight: OK (flight stream -> 4 worker tracks + scheduler, watch replays)"
+
+# perf gate: the committed snapshot vs itself must pass; vs the +25%
+# regression fixture it must exit nonzero (proving the gate actually trips)
+bench-gate:
+	$(PYTHON) -m repro obs bench-diff \
+		benchmarks/BENCH_bench_sweep_kernel.json benchmarks/BENCH_bench_sweep_kernel.json
+	! $(PYTHON) -m repro obs bench-diff \
+		benchmarks/BENCH_bench_sweep_kernel.json \
+		tests/obs/data/BENCH_bench_sweep_kernel_regressed.json
+	@echo "bench-gate: OK (clean diff passes, injected regression trips)"
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

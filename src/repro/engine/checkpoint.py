@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.obs.artifacts import atomic_write_text
+from repro.obs.flightrecorder import flight_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.jobs import JobPlan
@@ -178,6 +179,14 @@ class Checkpoint:
         )
         self._records = [r for r in self._records if r.job != record.job] + [record]
         self._flush(replacement_encoded={record.job: encoded})
+        recorder = flight_recorder()
+        if recorder is not None:
+            recorder.emit(
+                "checkpoint.write",
+                job=outcome.name,
+                records=len(self._records),
+                bytes=self.path.stat().st_size if self.path.exists() else 0,
+            )
         return True
 
     def _serialize(self, record: CheckpointRecord, encoded_value: Any) -> str:

@@ -47,6 +47,7 @@ from typing import Any
 from repro.engine.checkpoint import Checkpoint
 from repro.engine.jobs import Job, JobPlan
 from repro.engine.retry import FAIL_FAST, JobError, JobOutcome, RetryPolicy, execute_job
+from repro.obs.flightrecorder import FlightRecorder, flight_recorder, set_flight_recorder
 from repro.obs.metrics import MetricsRegistry, current_registry, ensure_core_metrics, use_registry
 from repro.obs.progress import ProgressReporter, heartbeat, set_heartbeat
 
@@ -89,6 +90,40 @@ def _resume_from_checkpoint(
     return {r.job: r.value for r in records}, [r.job for r in records]
 
 
+def _install_progress_totals(plan: JobPlan) -> None:
+    """Give the active heartbeat the plan's totals so ETA can be computed.
+
+    Curve-level plans record their full trial budget in
+    ``plan.meta["total_trials"]`` (the sum over every job's iteration
+    count); without it the reporter knows only a trial *rate*, so figure2/
+    figure3 runs under-reported progress and never printed an ETA.
+    """
+    hb = heartbeat()
+    if hb is None:
+        return
+    total = plan.meta.get("total_trials")
+    if hb.total is None and total:
+        hb.total = int(total)
+    hb.jobs_total = len(plan.jobs)
+
+
+def _announce_plan(
+    recorder: FlightRecorder | None, plan: JobPlan, backend: str, workers: int, resumed: list[str]
+) -> None:
+    if recorder is None:
+        return
+    recorder.emit(
+        "plan.begin",
+        backend=backend,
+        workers=workers,
+        jobs=len(plan.jobs),
+        resumed=len(resumed),
+        total_trials=plan.meta.get("total_trials"),
+    )
+    for name in resumed:
+        recorder.emit("job.resumed", job=name)
+
+
 class SerialExecutor:
     """Run jobs one after another in the calling process (the default)."""
 
@@ -102,12 +137,17 @@ class SerialExecutor:
         """Execute every job in plan order; deterministic for a given plan."""
         policy = self.policy if self.policy is not None else FAIL_FAST
         values, resumed = _resume_from_checkpoint(plan, checkpoint)
+        _install_progress_totals(plan)
+        recorder = flight_recorder()
+        _announce_plan(recorder, plan, self.name, 1, resumed)
         attempts: dict[str, int] = {}
         quarantined: list[str] = []
         timed_out: list[str] = []
         for job in plan.jobs:
             if job.name in values:
                 continue
+            if recorder is not None:
+                recorder.emit("job.submitted", job=job.name)
             outcome = execute_job(plan.experiment, plan.seed, job, plan.job_seedseq(job), policy)
             attempts[job.name] = outcome.attempts
             if outcome.ok:
@@ -121,6 +161,13 @@ class SerialExecutor:
             hb = heartbeat()
             if hb is not None:
                 hb.add(0, jobs=1)
+        if recorder is not None:
+            recorder.emit(
+                "plan.end",
+                jobs=len(plan.jobs),
+                completed=len(values),
+                quarantined=len(quarantined),
+            )
         return PlanExecution(
             values=values,
             backend=self.name,
@@ -133,17 +180,25 @@ class SerialExecutor:
         )
 
 
+#: process-local: has this pool worker announced itself on the flight channel?
+_worker_announced = False
+
+
 def _run_chunk(
     experiment: str, seed: int, jobs: list[Job], policy: RetryPolicy
-) -> tuple[list[JobOutcome], MetricsRegistry, dict]:
+) -> tuple[list[JobOutcome], MetricsRegistry, dict, list[dict]]:
     """Worker entry point: run a chunk of jobs under private observability.
 
     Returns the chunk's per-job outcomes, its metrics registry (merged by
-    the parent), and the silent heartbeat collector's summary.  Module-level
-    so process pools can pickle it regardless of start method.  Retries and
-    timeouts happen here, inside the worker — only quarantined outcomes
-    (or, under a fail-fast policy, a :class:`JobError`) reach the parent.
+    the parent), the silent heartbeat collector's summary, and the chunk's
+    buffered flight-recorder events (ingested into the parent's sink, so
+    the run's JSONL carries every worker's job lifecycle with its real
+    PID and timestamps).  Module-level so process pools can pickle it
+    regardless of start method.  Retries and timeouts happen here, inside
+    the worker — only quarantined outcomes (or, under a fail-fast policy,
+    a :class:`JobError`) reach the parent.
     """
+    global _worker_announced
     from repro.engine.jobs import JobPlan  # re-import friendly under spawn
     from repro.obs.profiler import install_profiling
 
@@ -154,14 +209,20 @@ def _run_chunk(
     # summary the parent absorbs into the run's real reporter.
     collector = ProgressReporter(experiment, interval_s=1e12)
     set_heartbeat(collector)
+    buffer = FlightRecorder(None, experiment=experiment)
+    if not _worker_announced:
+        _worker_announced = True
+        buffer.emit("worker.spawn", chunk_jobs=len(jobs))
+    set_flight_recorder(buffer)
     try:
         with use_registry(registry):
             outcomes = [
                 execute_job(experiment, seed, job, plan.job_seedseq(job), policy) for job in jobs
             ]
     finally:
+        set_flight_recorder(None)
         set_heartbeat(None)
-    return outcomes, registry, collector.summary()
+    return outcomes, registry, collector.summary(), buffer.drain()
 
 
 class ParallelExecutor:
@@ -211,14 +272,31 @@ class ParallelExecutor:
         policy = self.policy if self.policy is not None else FAIL_FAST
         registry = current_registry()
         reporter = heartbeat()
+        recorder = flight_recorder()
         values, resumed = _resume_from_checkpoint(plan, checkpoint)
+        _install_progress_totals(plan)
+        _announce_plan(recorder, plan, self.name, self.workers, resumed)
         attempts: dict[str, int] = {}
         quarantined: list[str] = []
         timed_out: list[str] = []
         settled: set[str] = set(values)
+        pool_pids: set[int] = set()  # workers seen in the current pool generation
+        outstanding_chunks = 0
+
+        def sample_scheduler() -> None:
+            """One queue-depth/utilization gauge sample on the flight channel."""
+            if recorder is None:
+                return
+            recorder.emit(
+                "scheduler.gauge",
+                queue_depth=len(plan.jobs) - len(settled),
+                outstanding_chunks=outstanding_chunks,
+                utilization=round(min(1.0, outstanding_chunks / self.workers), 4),
+                workers=self.workers,
+            )
 
         def absorb(chunk: list[Job], result: tuple) -> None:
-            chunk_outcomes, worker_registry, hb_summary = result
+            chunk_outcomes, worker_registry, hb_summary, worker_events = result
             for outcome in chunk_outcomes:
                 settled.add(outcome.name)
                 attempts[outcome.name] = outcome.attempts
@@ -231,26 +309,45 @@ class ParallelExecutor:
                     if outcome.timed_out:
                         timed_out.append(outcome.name)
             registry.merge(worker_registry)
+            if recorder is not None:
+                recorder.ingest(worker_events)
+            pool_pids.update(int(ev.get("pid", 0)) for ev in worker_events)
             if reporter is not None:
                 reporter.absorb(hb_summary)
                 reporter.add(0, jobs=len(chunk))
+
+        def retire_pool_workers() -> None:
+            """Record the end of every worker of the just-closed pool."""
+            if recorder is not None:
+                for pid in sorted(pool_pids):
+                    recorder.emit("worker.exit", pid=pid)
+            pool_pids.clear()
 
         chunks = self._chunk([job for job in plan.jobs if job.name not in settled])
         respawns = 0
         while chunks:
             try:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    pending = {
-                        pool.submit(_run_chunk, plan.experiment, plan.seed, chunk, policy): chunk
-                        for chunk in chunks
-                    }
+                    pending = {}
+                    for chunk in chunks:
+                        future = pool.submit(_run_chunk, plan.experiment, plan.seed, chunk, policy)
+                        pending[future] = chunk
+                        if recorder is not None:
+                            for job in chunk:
+                                recorder.emit("job.submitted", job=job.name)
+                    outstanding_chunks = len(pending)
+                    sample_scheduler()
                     while pending:
                         done, _ = wait(pending, return_when=FIRST_COMPLETED)
                         for future in done:
                             chunk = pending.pop(future)
                             absorb(chunk, future.result())
+                            outstanding_chunks = len(pending)
+                            sample_scheduler()
                 chunks = []
+                retire_pool_workers()
             except BrokenProcessPool as exc:
+                retire_pool_workers()
                 if respawns >= self.max_pool_respawns:
                     raise JobError(
                         plan.experiment,
@@ -263,6 +360,20 @@ class ParallelExecutor:
                 # arrived; settled jobs are safe — their results, metrics,
                 # and checkpoint records were absorbed before the break.
                 chunks = self._chunk([job for job in plan.jobs if job.name not in settled])
+                if recorder is not None:
+                    recorder.emit(
+                        "pool.respawn",
+                        respawns=respawns,
+                        requeued=sum(len(c) for c in chunks),
+                    )
+        if recorder is not None:
+            recorder.emit(
+                "plan.end",
+                jobs=len(plan.jobs),
+                completed=len(values),
+                quarantined=len(quarantined),
+                pool_respawns=respawns,
+            )
         _recompute_rate_gauges(registry)
         return PlanExecution(
             values=values,

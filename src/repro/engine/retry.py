@@ -28,14 +28,15 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, process_time
 from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs.flightrecorder import flight_recorder
 from repro.obs.metrics import current_registry
 from repro.obs.progress import heartbeat
-from repro.simkit.rng import spawn_seedseq
+from repro.simkit.rng import seed_fingerprint, spawn_seedseq
 
 
 class JobError(RuntimeError):
@@ -172,12 +173,16 @@ def execute_job(
     so retried successes are byte-identical to first-try successes.
     Publishes ``engine_job_attempts_total`` / ``engine_job_retries_total``
     / ``engine_job_timeouts_total`` / ``engine_jobs_quarantined_total``
-    into the current registry and retry/quarantine incident counts into
-    the current heartbeat.
+    into the current registry, retry/quarantine incident counts into
+    the current heartbeat, and per-attempt lifecycle events — with wall/CPU
+    time and the job's seed fingerprint — into the current flight recorder
+    (:mod:`repro.obs.flightrecorder`), when one is installed.
     """
     registry = current_registry()
+    recorder = flight_recorder()
     backoff_rng: np.random.Generator | None = None
     started = perf_counter()
+    started_cpu = process_time()
     last_error = ""
     timed_out = False
     for attempt in range(1, policy.max_attempts + 1):
@@ -190,20 +195,40 @@ def execute_job(
                 backoff_rng = np.random.default_rng(
                     spawn_seedseq(root_seed, experiment, job.name, "backoff")
                 )
-            sleep(policy.backoff_s(attempt - 1, backoff_rng))
+            backoff = policy.backoff_s(attempt - 1, backoff_rng)
+            if recorder is not None:
+                recorder.emit("job.retry", job=job.name, attempt=attempt, backoff_s=backoff)
+            sleep(backoff)
         registry.counter("engine_job_attempts_total").add(1)
+        if recorder is not None:
+            recorder.emit("job.attempt", job=job.name, attempt=attempt)
         try:
             value = _call_with_timeout(
                 job.fn, job.params, seed_seq, policy.timeout_s, experiment, job.name
             )
+            elapsed = perf_counter() - started
+            if recorder is not None:
+                recorder.emit(
+                    "job.completed",
+                    job=job.name,
+                    ok=True,
+                    attempts=attempt,
+                    wall_s=round(elapsed, 6),
+                    cpu_s=round(process_time() - started_cpu, 6),
+                    seed_fingerprint=seed_fingerprint(seed_seq),
+                )
             return JobOutcome(
                 name=job.name, ok=True, value=value, attempts=attempt,
-                elapsed_s=perf_counter() - started,
+                elapsed_s=elapsed,
             )
         except JobTimeoutError as exc:
             timed_out = True
             last_error = str(exc)
             registry.counter("engine_job_timeouts_total").add(1)
+            if recorder is not None:
+                recorder.emit(
+                    "job.timeout", job=job.name, attempt=attempt, timeout_s=policy.timeout_s
+                )
         except Exception as exc:
             timed_out = False
             last_error = repr(exc)
@@ -213,7 +238,18 @@ def execute_job(
     hb = heartbeat()
     if hb is not None:
         hb.add(0, quarantined=1)
+    elapsed = perf_counter() - started
+    if recorder is not None:
+        recorder.emit(
+            "job.quarantined",
+            job=job.name,
+            attempts=policy.max_attempts,
+            timed_out=timed_out,
+            error=last_error,
+            wall_s=round(elapsed, 6),
+            cpu_s=round(process_time() - started_cpu, 6),
+        )
     return JobOutcome(
         name=job.name, ok=False, error=last_error, attempts=policy.max_attempts,
-        timed_out=timed_out, elapsed_s=perf_counter() - started,
+        timed_out=timed_out, elapsed_s=elapsed,
     )

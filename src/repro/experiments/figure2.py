@@ -111,7 +111,15 @@ def build_plan(
         )
         return result
 
-    return JobPlan(experiment="figure2", seed=seed, jobs=jobs, reduce=reduce)
+    return JobPlan(
+        experiment="figure2",
+        seed=seed,
+        jobs=jobs,
+        reduce=reduce,
+        # each MC job runs exactly its `iterations` heartbeat-counted trials;
+        # the engine installs this total on the ProgressReporter for ETA lines
+        meta={"total_trials": sum(j.params.get("iterations", 0) for j in jobs)},
+    )
 
 
 def run(

@@ -116,7 +116,15 @@ def build_plan(
         )
         return result
 
-    return JobPlan(experiment="figure3", seed=seed, jobs=jobs, reduce=reduce)
+    # each mad/iters=K job runs K heartbeat-counted trials per N in its grid
+    n_count = n_max - max(2, min(f_values) + 1) + 1
+    return JobPlan(
+        experiment="figure3",
+        seed=seed,
+        jobs=jobs,
+        reduce=reduce,
+        meta={"total_trials": n_count * sum(iteration_grid)},
+    )
 
 
 def run(

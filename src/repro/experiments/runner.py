@@ -55,6 +55,7 @@ from repro.obs import (
     write_metrics_files,
 )
 from repro.obs.artifacts import atomic_write_text
+from repro.obs.flightrecorder import FLIGHT_SUFFIX, FlightRecorder, set_flight_recorder
 from repro.obs.progress import ProgressReporter, set_heartbeat
 
 #: Fields of the original invocation that ``--resume`` must replay to
@@ -148,6 +149,11 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="progress heartbeat interval on stderr (0 disables; default 10)",
     )
+    parser.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="skip the <name>.flight.jsonl engine telemetry stream",
+    )
     args = parser.parse_args(argv)
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
@@ -211,11 +217,18 @@ def main(argv: list[str] | None = None) -> int:
         metrics = ensure_core_metrics(MetricsRegistry())
         reporter = ProgressReporter(name, interval_s=args.heartbeat) if args.heartbeat > 0 else None
         set_heartbeat(reporter)
+        recorder = None
+        if not args.no_flight:
+            recorder = FlightRecorder(out_dir / f"{name}{FLIGHT_SUFFIX}", experiment=name)
+            set_flight_recorder(recorder)
         try:
             with use_registry(metrics):
                 result = spec.run(**kwargs)
         finally:
             set_heartbeat(None)
+            if recorder is not None:
+                set_flight_recorder(None)
+                recorder.close()
         results.append(result)
         files = result.write(out_dir)
         elapsed = time.perf_counter() - started
@@ -237,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
                               "pool_respawns")
                     if k in engine_meta
                 } if engine_meta else None,
+                flight_recorder=recorder.summary() if recorder is not None else None,
             )
             manifest.write(out_dir / f"{name}.manifest.json")
             write_metrics_files(metrics, out_dir, name)

@@ -20,8 +20,16 @@ into:
   (trials/sec, ETA, incident counts on stderr + run manifests).
 * :mod:`repro.obs.bench` — ``BENCH_*.json`` snapshot writer for the
   pytest-benchmark suite.
+* :mod:`repro.obs.benchtrack` — CI-width-aware diffing of committed
+  ``BENCH_*.json`` snapshots (the ``bench-diff`` perf gate).
+* :mod:`repro.obs.flightrecorder` — the engine flight recorder: a
+  multiprocessing-safe structured event channel streaming every job,
+  worker, checkpoint, and heartbeat lifecycle event to a crash-tolerant
+  JSONL sink.
+* :mod:`repro.obs.watch` — live ANSI dashboard (``repro obs watch``)
+  folding a flight stream into per-worker run state.
 * :mod:`repro.obs.cli` — the ``repro obs`` pretty-printer plus the
-  ``export-trace`` and ``postmortem`` verbs.
+  ``export-trace``, ``postmortem``, ``watch``, and ``bench-diff`` verbs.
 * :mod:`repro.obs.compat` — deprecation shims for the legacy primitives.
 """
 
@@ -44,6 +52,20 @@ from repro.obs.metrics import (
     use_registry,
 )
 from repro.obs.bench import load_bench_snapshot, write_bench_snapshots
+from repro.obs.benchtrack import (
+    BenchDelta,
+    bench_diff_report,
+    diff_snapshots,
+    render_bench_diff,
+)
+from repro.obs.flightrecorder import (
+    FLIGHT_SUFFIX,
+    FlightRecorder,
+    flight_recorder,
+    flight_summary,
+    read_flight_events,
+    set_flight_recorder,
+)
 from repro.obs.postmortem import (
     IncidentReport,
     build_postmortems,
@@ -57,15 +79,19 @@ from repro.obs.profiler import (
     uninstall_profiling,
 )
 from repro.obs.progress import ProgressReporter, heartbeat, set_heartbeat
+from repro.obs.watch import WatchState, render_watch
+from repro.obs.watch import follow as follow_flight
 from repro.obs.spans import (
     SPAN_CATEGORY,
     Span,
     SpanLog,
+    flight_to_chrome_trace,
     span_log,
     spans_from_entries,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+    write_flight_chrome_trace,
 )
 
 __all__ = [
@@ -95,6 +121,8 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "flight_to_chrome_trace",
+    "write_flight_chrome_trace",
     "IncidentReport",
     "build_postmortems",
     "render_postmortems",
@@ -104,4 +132,17 @@ __all__ = [
     "heartbeat",
     "write_bench_snapshots",
     "load_bench_snapshot",
+    "BenchDelta",
+    "diff_snapshots",
+    "render_bench_diff",
+    "bench_diff_report",
+    "FlightRecorder",
+    "FLIGHT_SUFFIX",
+    "flight_recorder",
+    "set_flight_recorder",
+    "read_flight_events",
+    "flight_summary",
+    "WatchState",
+    "render_watch",
+    "follow_flight",
 ]

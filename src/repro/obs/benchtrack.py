@@ -1,0 +1,237 @@
+"""Bench regression tracking: diff ``BENCH_*.json`` snapshots with CI-aware gates.
+
+:mod:`repro.obs.bench` persists pytest-benchmark sessions as committed
+``BENCH_<module>.json`` snapshots, but until now nothing *compared* them —
+the perf trajectory was unobserved and a regression in, say, the CRN sweep
+kernel would ship silently.  ``repro obs bench-diff`` closes the loop:
+
+* load two or more snapshots (files, or a history directory of them),
+  grouped by benchmark module and ordered by ``created_unix``;
+* pair benchmarks by ``fullname`` and compute the fractional delta of the
+  chosen stat (``mean`` by default; ``ops`` is treated as higher-is-better);
+* gate each delta against a **CI-width-aware threshold**: the noise floor
+  of a benchmark is estimated from its own recorded spread
+  (``stddev / (mean * sqrt(rounds))``, the relative standard error), the
+  baseline's and candidate's floors combine in quadrature, and the
+  threshold is ``max(min_rel, z * combined)`` — so a tightly-measured
+  benchmark is held to the minimum relative tolerance while a noisy
+  single-round one needs a correspondingly larger move to count;
+* render a delta table (or ``--json``) and exit
+  :data:`BENCH_DIFF_EXIT_REGRESSION` if anything regressed — the CI perf
+  gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.bench import load_bench_snapshot
+
+#: exit code ``repro obs bench-diff`` uses when a regression is detected
+BENCH_DIFF_EXIT_REGRESSION = 3
+
+#: stats where a larger value is better (everything else: smaller is better)
+HIGHER_IS_BETTER = frozenset({"ops"})
+
+#: stats bench-diff accepts via --metric
+DIFF_METRICS = ("mean", "min", "median", "max", "ops")
+
+#: default minimum relative move to call a regression (5%)
+DEFAULT_MIN_REL = 0.05
+
+#: default z multiplier on the combined relative standard error
+DEFAULT_Z = 3.0
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark's movement between the oldest and newest snapshot."""
+
+    fullname: str
+    module: str
+    metric: str
+    base: float
+    new: float
+    delta_frac: float  # signed: positive = worse (direction-normalized)
+    threshold_frac: float
+    noise_frac: float  # combined relative standard error of the two snapshots
+    regressed: bool
+    improved: bool
+    history: list[float] = field(default_factory=list)  # metric across all snapshots
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fullname": self.fullname,
+            "module": self.module,
+            "metric": self.metric,
+            "base": self.base,
+            "new": self.new,
+            "delta_frac": round(self.delta_frac, 6),
+            "threshold_frac": round(self.threshold_frac, 6),
+            "noise_frac": round(self.noise_frac, 6),
+            "regressed": self.regressed,
+            "improved": self.improved,
+            "history": [round(v, 9) for v in self.history],
+        }
+
+
+def relative_stderr(row: Mapping[str, Any]) -> float:
+    """A benchmark row's relative standard error (its noise floor).
+
+    ``stddev / (mean * sqrt(rounds))``; 0 when the snapshot has fewer than
+    two rounds (no spread information — the minimum tolerance then rules).
+    """
+    mean = float(row.get("mean", 0.0) or 0.0)
+    stddev = float(row.get("stddev", 0.0) or 0.0)
+    rounds = float(row.get("rounds", 1.0) or 1.0)
+    if mean <= 0 or stddev <= 0 or rounds < 2:
+        return 0.0
+    return stddev / (mean * math.sqrt(rounds))
+
+
+def expand_snapshot_paths(paths: Iterable[str | Path]) -> list[Path]:
+    """Files stay files; directories expand to their sorted ``BENCH_*.json``."""
+    expanded: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            expanded.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            expanded.append(path)
+    return expanded
+
+
+def collect_snapshots(paths: Iterable[str | Path]) -> dict[str, list[dict[str, Any]]]:
+    """Load snapshots grouped by module, oldest first within each group."""
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for path in expand_snapshot_paths(paths):
+        doc = load_bench_snapshot(path)
+        doc["_path"] = str(path)
+        groups.setdefault(str(doc.get("module", Path(path).stem)), []).append(doc)
+    for docs in groups.values():
+        docs.sort(key=lambda d: float(d.get("created_unix", 0.0)))
+    return groups
+
+
+def _rows_by_fullname(doc: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
+    return {str(row["fullname"]): row for row in doc.get("results", [])}
+
+
+def diff_history(
+    docs: list[dict[str, Any]],
+    metric: str = "mean",
+    min_rel: float = DEFAULT_MIN_REL,
+    z: float = DEFAULT_Z,
+) -> list[BenchDelta]:
+    """Deltas between the oldest and newest snapshot of one module.
+
+    Benchmarks present in only one snapshot are skipped (new tests have no
+    baseline; retired ones have no candidate).  Intermediate snapshots
+    contribute the ``history`` trajectory, not gating decisions.
+    """
+    if metric not in DIFF_METRICS:
+        raise ValueError(f"metric must be one of {DIFF_METRICS}, got {metric!r}")
+    if len(docs) < 2:
+        raise ValueError("need at least two snapshots of a module to diff")
+    base_doc, new_doc = docs[0], docs[-1]
+    base_rows, new_rows = _rows_by_fullname(base_doc), _rows_by_fullname(new_doc)
+    module = str(new_doc.get("module", "?"))
+    deltas: list[BenchDelta] = []
+    for fullname in sorted(set(base_rows) & set(new_rows)):
+        base_row, new_row = base_rows[fullname], new_rows[fullname]
+        base = base_row.get(metric)
+        new = new_row.get(metric)
+        if not isinstance(base, (int, float)) or not isinstance(new, (int, float)) or base <= 0:
+            continue
+        raw_frac = (float(new) - float(base)) / float(base)
+        # normalize direction: positive delta_frac always means "got worse"
+        delta_frac = -raw_frac if metric in HIGHER_IS_BETTER else raw_frac
+        noise = math.hypot(relative_stderr(base_row), relative_stderr(new_row))
+        threshold = max(min_rel, z * noise)
+        history = [
+            float(_rows_by_fullname(doc).get(fullname, {}).get(metric, float("nan")))
+            for doc in docs
+        ]
+        deltas.append(
+            BenchDelta(
+                fullname=fullname,
+                module=module,
+                metric=metric,
+                base=float(base),
+                new=float(new),
+                delta_frac=delta_frac,
+                threshold_frac=threshold,
+                noise_frac=noise,
+                regressed=delta_frac > threshold,
+                improved=delta_frac < -threshold,
+                history=history,
+            )
+        )
+    return deltas
+
+
+def diff_snapshots(
+    paths: Iterable[str | Path],
+    metric: str = "mean",
+    min_rel: float = DEFAULT_MIN_REL,
+    z: float = DEFAULT_Z,
+) -> list[BenchDelta]:
+    """Diff every module with ≥2 snapshots among ``paths``; see :func:`diff_history`."""
+    groups = collect_snapshots(paths)
+    comparable = {m: docs for m, docs in groups.items() if len(docs) >= 2}
+    if not comparable:
+        raise ValueError(
+            "need at least two snapshots of the same benchmark module "
+            f"(got modules: {', '.join(sorted(groups)) or 'none'})"
+        )
+    deltas: list[BenchDelta] = []
+    for _module, docs in sorted(comparable.items()):
+        deltas.extend(diff_history(docs, metric=metric, min_rel=min_rel, z=z))
+    return deltas
+
+
+def render_bench_diff(deltas: list[BenchDelta]) -> str:
+    """Human-readable delta table, worst movement first."""
+    from repro.viz import render_table
+
+    if not deltas:
+        return "bench-diff: no comparable benchmarks between the snapshots"
+    metric = deltas[0].metric
+    rows = []
+    for d in sorted(deltas, key=lambda d: -d.delta_frac):
+        verdict = "REGRESSED" if d.regressed else ("improved" if d.improved else "ok")
+        rows.append(
+            [
+                d.fullname.split("::")[-1],
+                d.module,
+                f"{d.base:.6g}",
+                f"{d.new:.6g}",
+                f"{d.delta_frac:+.1%}",
+                f"±{d.threshold_frac:.1%}",
+                verdict,
+            ]
+        )
+    regressions = sum(d.regressed for d in deltas)
+    title = (
+        f"bench-diff ({metric}; +delta = worse): "
+        + (f"{regressions} REGRESSION(S)" if regressions else "no regressions")
+    )
+    return render_table(
+        ["benchmark", "module", f"base {metric}", f"new {metric}", "delta", "threshold", "verdict"],
+        rows,
+        title=title,
+    )
+
+
+def bench_diff_report(deltas: list[BenchDelta]) -> dict[str, Any]:
+    """Machine-readable report (the ``--json`` payload)."""
+    return {
+        "metric": deltas[0].metric if deltas else None,
+        "benchmarks": len(deltas),
+        "regressions": [d.fullname for d in deltas if d.regressed],
+        "improvements": [d.fullname for d in deltas if d.improved],
+        "deltas": [d.to_dict() for d in deltas],
+    }

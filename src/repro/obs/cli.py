@@ -4,22 +4,30 @@ Usage::
 
     python -m repro obs results/                 # everything in a directory
     python -m repro obs results/figure2.manifest.json
-    python -m repro obs /tmp/r/nic.metrics.jsonl /tmp/r/nic.trace.jsonl
+    python -m repro obs --json /tmp/r/figure2.flight.jsonl
     python -m repro obs export-trace /tmp/r/nic-failure-drs.trace.jsonl
+    python -m repro obs export-trace /tmp/r/figure2.flight.jsonl
     python -m repro obs postmortem examples/scenarios/voicemail_hub_outage.json
+    python -m repro obs watch /tmp/r/figure2.flight.jsonl
+    python -m repro obs bench-diff benchmarks/ --metric mean
 
 The bare form dispatches on artifact suffix: ``*.manifest.json`` (run
 provenance), ``*.metrics.jsonl`` / ``*.metrics.prom`` (registry snapshots),
-and ``*.trace.jsonl`` (event traces, summarized by category).  Two verbs
-consume the span layer:
+``*.trace.jsonl`` (event traces, summarized by category),
+``*.checkpoint.jsonl`` (resume records), and ``*.flight.jsonl`` (engine
+flight-recorder streams).  ``--json`` swaps every pretty table for one
+machine-readable JSON document.  Four verbs:
 
-* ``export-trace`` — convert a trace (or run a scenario spec) to Chrome
-  trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+* ``export-trace`` — convert a trace, a flight-recorder stream, or a
+  scenario spec to Chrome trace-event JSON loadable in Perfetto /
+  ``chrome://tracing`` (flight streams get one track per worker plus a
+  scheduler track).
 * ``postmortem`` — reconstruct each failure's detection→repair critical
   path and score it against the TCP-retransmit deadline budget.
-
-Both accept either a ``*.trace.jsonl`` artifact or a scenario spec JSON
-(the scenario is run in-process, seeded from the spec).
+* ``watch`` — live ANSI dashboard tailing a ``*.flight.jsonl`` stream
+  while (or after) an engine run writes it.
+* ``bench-diff`` — CI-width-aware deltas between committed ``BENCH_*.json``
+  snapshots; exits nonzero on regression (the CI perf gate).
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import os
 import sys
 from collections import Counter as TallyCounter
 from pathlib import Path
+from typing import Any
 
 from repro.obs.artifacts import load_manifest
 from repro.viz import metrics_summary_table, render_table
@@ -40,6 +49,7 @@ ARTIFACT_GLOBS = (
     "*.metrics.prom",
     "*.trace.jsonl",
     "*.checkpoint.jsonl",
+    "*.flight.jsonl",
 )
 
 
@@ -70,7 +80,7 @@ def _render_metrics_jsonl(path: Path) -> str:
     return metrics_summary_table(snapshot, title=f"metrics: {path.name}")
 
 
-def _render_trace_jsonl(path: Path) -> str:
+def _trace_tally(path: Path) -> dict[str, dict[str, float]]:
     tally: TallyCounter = TallyCounter()
     first: dict[str, float] = {}
     last: dict[str, float] = {}
@@ -83,9 +93,17 @@ def _render_trace_jsonl(path: Path) -> str:
         t = float(row.get("time", 0.0))
         first.setdefault(category, t)
         last[category] = t
+    return {
+        category: {"entries": count, "first_s": first[category], "last_s": last[category]}
+        for category, count in tally.items()
+    }
+
+
+def _render_trace_jsonl(path: Path) -> str:
+    by_category = _trace_tally(path)
     rows = [
-        [category, count, first[category], last[category]]
-        for category, count in sorted(tally.items(), key=lambda kv: -kv[1])
+        [category, stats["entries"], stats["first_s"], stats["last_s"]]
+        for category, stats in sorted(by_category.items(), key=lambda kv: -kv[1]["entries"])
     ]
     if not rows:
         return f"trace: {path.name}: (empty)"
@@ -94,9 +112,8 @@ def _render_trace_jsonl(path: Path) -> str:
     )
 
 
-def _render_checkpoint_jsonl(path: Path) -> str:
+def _checkpoint_rows(path: Path) -> list[dict[str, Any]]:
     rows = []
-    total_attempts = 0
     for line in path.read_text().splitlines():
         if not line.strip():
             continue
@@ -104,20 +121,43 @@ def _render_checkpoint_jsonl(path: Path) -> str:
             row = json.loads(line)
         except json.JSONDecodeError:
             continue
-        attempts = int(row.get("attempts", 1))
-        total_attempts += attempts
         rows.append(
-            [
-                row.get("experiment", "?"),
-                row.get("job", "?"),
-                attempts,
-                f"{float(row.get('elapsed_s', 0.0)):.3f}",
-            ]
+            {
+                "experiment": row.get("experiment", "?"),
+                "job": row.get("job", "?"),
+                "attempts": int(row.get("attempts", 1)),
+                "elapsed_s": float(row.get("elapsed_s", 0.0)),
+            }
         )
+    return rows
+
+
+def _render_checkpoint_jsonl(path: Path) -> str:
+    rows = _checkpoint_rows(path)
     if not rows:
         return f"checkpoint: {path.name}: (empty)"
+    total_attempts = sum(r["attempts"] for r in rows)
     title = f"checkpoint: {path.name} ({len(rows)} job(s), {total_attempts} attempt(s))"
-    return render_table(["experiment", "job", "attempts", "elapsed (s)"], rows, title=title)
+    return render_table(
+        ["experiment", "job", "attempts", "elapsed (s)"],
+        [[r["experiment"], r["job"], r["attempts"], f"{r['elapsed_s']:.3f}"] for r in rows],
+        title=title,
+    )
+
+
+def _render_flight_jsonl(path: Path) -> str:
+    from repro.obs.flightrecorder import flight_summary, read_flight_events
+
+    events = read_flight_events(path)
+    if not events:
+        return f"flight: {path.name}: (empty)"
+    summary = flight_summary(events)
+    rows = [[kind, count] for kind, count in sorted(summary["by_kind"].items())]
+    for pid, info in sorted(summary["workers"].items()):
+        rows.append([f"worker pid {pid}", f"{info['jobs']} job(s)"])
+    wall = max(e["t"] for e in events) - min(e["t"] for e in events)
+    title = f"flight: {path.name} ({summary['events']} event(s), {wall:.1f}s wall)"
+    return render_table(["event kind / worker", "count"], rows, title=title)
 
 
 def render_artifact(path: Path) -> str:
@@ -133,7 +173,36 @@ def render_artifact(path: Path) -> str:
         return _render_trace_jsonl(path)
     if name.endswith(".checkpoint.jsonl"):
         return _render_checkpoint_jsonl(path)
+    if name.endswith(".flight.jsonl"):
+        return _render_flight_jsonl(path)
     raise ValueError(f"unrecognized artifact {path} (expected {', '.join(ARTIFACT_GLOBS)})")
+
+
+def artifact_data(path: Path) -> dict[str, Any]:
+    """Machine-readable form of one artifact: ``{path, kind, data}``.
+
+    The ``--json`` counterpart of :func:`render_artifact` — same suffix
+    dispatch, JSON-native payloads instead of tables.
+    """
+    name = path.name
+    if name.endswith(".manifest.json"):
+        kind, data = "manifest", load_manifest(path).to_dict()
+    elif name.endswith(".metrics.jsonl"):
+        kind = "metrics"
+        data = [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+    elif name.endswith(".metrics.prom"):
+        kind, data = "prometheus", {"text": path.read_text()}
+    elif name.endswith(".trace.jsonl"):
+        kind, data = "trace", {"categories": _trace_tally(path)}
+    elif name.endswith(".checkpoint.jsonl"):
+        kind, data = "checkpoint", {"jobs": _checkpoint_rows(path)}
+    elif name.endswith(".flight.jsonl"):
+        from repro.obs.flightrecorder import flight_summary, read_flight_events
+
+        kind, data = "flight", flight_summary(read_flight_events(path))
+    else:
+        raise ValueError(f"unrecognized artifact {path} (expected {', '.join(ARTIFACT_GLOBS)})")
+    return {"path": str(path), "kind": kind, "data": data}
 
 
 def _expand(paths: list[str]) -> list[Path]:
@@ -170,16 +239,38 @@ def _load_spans(source: str):
 
 
 def _cmd_export_trace(argv: list[str]) -> int:
-    from repro.obs.spans import write_chrome_trace
-
     parser = argparse.ArgumentParser(
         prog="repro obs export-trace",
-        description="Export spans as Chrome trace-event JSON (Perfetto / chrome://tracing).",
+        description="Export spans or a flight-recorder stream as Chrome trace-event JSON "
+        "(Perfetto / chrome://tracing).",
     )
-    parser.add_argument("source", help="a *.trace.jsonl artifact or a scenario spec JSON")
+    parser.add_argument(
+        "source",
+        help="a *.trace.jsonl artifact, a *.flight.jsonl flight recording, "
+        "or a scenario spec JSON",
+    )
     parser.add_argument("--out", metavar="PATH", default=None,
-                        help="output file (default: <source stem>.spans.json)")
+                        help="output file (default: <source stem>.spans.json, "
+                        "or <stem>.chrome.json for flight recordings)")
     args = parser.parse_args(argv)
+
+    if args.source.endswith(".flight.jsonl"):
+        from repro.obs.flightrecorder import flight_summary, read_flight_events
+        from repro.obs.spans import write_flight_chrome_trace
+
+        events = read_flight_events(args.source)
+        if not events:
+            print(f"error: {args.source}: no flight events recorded", file=sys.stderr)
+            return 1
+        out = Path(args.out) if args.out else Path(
+            args.source.removesuffix(".flight.jsonl") + ".chrome.json"
+        )
+        write_flight_chrome_trace(out, events)
+        workers = len(flight_summary(events)["workers"])
+        print(f"wrote {len(events)} flight event(s) ({workers} worker track(s)) -> {out}")
+        return 0
+
+    from repro.obs.spans import write_chrome_trace
 
     spans, instants = _load_spans(args.source)
     if not spans:
@@ -194,7 +285,7 @@ def _cmd_export_trace(argv: list[str]) -> int:
 
 
 def _cmd_postmortem(argv: list[str]) -> int:
-    from repro.obs.postmortem import build_postmortems, render_postmortems
+    from repro.obs.postmortem import build_postmortems, render_postmortems, summarize_postmortems
 
     parser = argparse.ArgumentParser(
         prog="repro obs postmortem",
@@ -205,12 +296,113 @@ def _cmd_postmortem(argv: list[str]) -> int:
                         help="deadline budget in seconds (default: TCP initial RTO)")
     parser.add_argument("--node", type=int, default=None, metavar="N",
                         help="only report episodes observed by this node")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable report instead of tables")
     args = parser.parse_args(argv)
 
     spans, _ = _load_spans(args.source)
     reports = build_postmortems(spans, deadline_s=args.deadline, node=args.node)
-    print(render_postmortems(reports))
+    if args.json:
+        print(json.dumps(
+            {
+                "source": args.source,
+                "summary": summarize_postmortems(reports),
+                "episodes": [
+                    {
+                        "node": r.node,
+                        "peer": r.peer,
+                        "outcome": r.outcome,
+                        "failover_latency_s": r.failover_latency_s,
+                        "total_s": r.total_s,
+                        "deadline_s": r.deadline_s,
+                        "budget_consumed": r.budget_consumed,
+                        "deadline_violated": r.deadline_violated,
+                        "phases": [
+                            {"name": p.name, "start": p.start, "end": p.end,
+                             "duration": p.duration}
+                            for p in r.phases
+                        ],
+                    }
+                    for r in reports
+                ],
+            },
+            indent=2,
+        ))
+    else:
+        print(render_postmortems(reports))
     return 0 if all(not r.deadline_violated for r in reports) else 3
+
+
+def _cmd_watch(argv: list[str]) -> int:
+    from repro.obs.watch import follow
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs watch",
+        description="Live dashboard tailing an engine flight-recorder stream.",
+    )
+    parser.add_argument("path", help="a *.flight.jsonl file (may not exist yet)")
+    parser.add_argument("--interval", type=float, default=0.5, metavar="S",
+                        help="repaint interval in seconds (default: 0.5)")
+    parser.add_argument("--duration", type=float, default=None, metavar="S",
+                        help="give up after this many seconds if the run hasn't ended")
+    parser.add_argument("--once", action="store_true",
+                        help="render the current state once and exit (replay mode)")
+    parser.add_argument("--no-color", action="store_true", help="plain-text output")
+    parser.add_argument("--json", action="store_true",
+                        help="emit state snapshots as JSON lines instead of the dashboard")
+    args = parser.parse_args(argv)
+
+    return follow(
+        args.path,
+        interval_s=args.interval,
+        duration_s=args.duration,
+        once=args.once,
+        color=not args.no_color,
+        as_json=args.json,
+    )
+
+
+def _cmd_bench_diff(argv: list[str]) -> int:
+    from repro.obs.benchtrack import (
+        BENCH_DIFF_EXIT_REGRESSION,
+        DEFAULT_MIN_REL,
+        DEFAULT_Z,
+        DIFF_METRICS,
+        bench_diff_report,
+        diff_snapshots,
+        render_bench_diff,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs bench-diff",
+        description="Diff BENCH_*.json snapshots with CI-width-aware regression gates.",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="two or more snapshot files, or directories of them "
+                        "(oldest vs newest per module, by created_unix)")
+    parser.add_argument("--metric", choices=DIFF_METRICS, default="mean",
+                        help="stat to compare (default: mean; ops is higher-is-better)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_MIN_REL, metavar="FRAC",
+                        help=f"minimum relative move to flag (default: {DEFAULT_MIN_REL})")
+    parser.add_argument("--z", type=float, default=DEFAULT_Z, metavar="Z",
+                        help="multiplier on the combined relative standard error "
+                        f"(default: {DEFAULT_Z})")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report instead of the table")
+    args = parser.parse_args(argv)
+
+    try:
+        deltas = diff_snapshots(
+            args.paths, metric=args.metric, min_rel=args.threshold, z=args.z
+        )
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(bench_diff_report(deltas), indent=2))
+    else:
+        print(render_bench_diff(deltas))
+    return BENCH_DIFF_EXIT_REGRESSION if any(d.regressed for d in deltas) else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -221,12 +413,18 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_export_trace(argv[1:])
     if argv and argv[0] == "postmortem":
         return _cmd_postmortem(argv[1:])
+    if argv and argv[0] == "watch":
+        return _cmd_watch(argv[1:])
+    if argv and argv[0] == "bench-diff":
+        return _cmd_bench_diff(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro obs",
         description="Pretty-print run manifests, metrics snapshots, and trace dumps.",
     )
     parser.add_argument("paths", nargs="+", help="artifact files or results directories")
     parser.add_argument("--raw", action="store_true", help="dump file contents without rendering")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON array of {path, kind, data} records")
     args = parser.parse_args(argv)
 
     paths = _expand(args.paths)
@@ -234,6 +432,7 @@ def main(argv: list[str] | None = None) -> int:
         print("no observability artifacts found", file=sys.stderr)
         return 1
     status = 0
+    documents: list[dict[str, Any]] = []
     try:
         for path in paths:
             if not path.exists():
@@ -241,12 +440,17 @@ def main(argv: list[str] | None = None) -> int:
                 status = 1
                 continue
             try:
-                print(path.read_text().rstrip() if args.raw else render_artifact(path))
+                if args.json:
+                    documents.append(artifact_data(path))
+                else:
+                    print(path.read_text().rstrip() if args.raw else render_artifact(path))
+                    print()
             except (ValueError, json.JSONDecodeError, TypeError) as exc:
                 print(f"error: {path}: {exc}", file=sys.stderr)
                 status = 1
                 continue
-            print()
+        if args.json:
+            print(json.dumps(documents, indent=2, default=str))
     except BrokenPipeError:
         # reader (e.g. `| head`) closed the pipe: exit quietly, and point
         # stdout at devnull so the interpreter's final flush doesn't retrip

@@ -42,6 +42,9 @@ class ProgressReporter:
         self.trials = 0
         self.counts: dict[str, int] = {}
         self.heartbeats = 0
+        #: total jobs in the active plan, installed by the engine executors
+        #: so heartbeat lines (and `repro obs watch`) can show jobs done/total
+        self.jobs_total: int | None = None
 
     # ------------------------------------------------------------------ input
     def add(self, n: int = 1, **counts: int) -> None:
@@ -69,6 +72,8 @@ class ProgressReporter:
         rate = self.trials / elapsed if elapsed > 0 else 0.0
         progress = f"{self.trials}" if self.total is None else f"{self.trials}/{self.total}"
         parts = [f"[{self.label}] {progress} trials", f"{rate:,.0f} trials/s"]
+        if self.jobs_total is not None:
+            parts.append(f"jobs {self.counts.get('jobs', 0)}/{self.jobs_total}")
         if not final and self.total is not None and rate > 0 and self.trials < self.total:
             parts.append(f"ETA {(self.total - self.trials) / rate:,.0f}s")
         if final:
@@ -79,13 +84,32 @@ class ProgressReporter:
         return ", ".join(parts)
 
     def emit(self, final: bool = False, now: float | None = None) -> str:
-        """Write one heartbeat line to the stream; returns the line."""
+        """Write one heartbeat line to the stream; returns the line.
+
+        Each emitted beat is also recorded on the current flight-recorder
+        channel (when one is installed), so ``repro obs watch`` can show a
+        live trials/s + ETA without re-deriving it from job events.
+        """
         now = self._clock() if now is None else now
         self._last_emit = now
         self.heartbeats += 1
-        line = self._format(now - self._started, final)
+        elapsed = now - self._started
+        line = self._format(elapsed, final)
         stream = self._stream if self._stream is not None else sys.stderr
         print(line, file=stream, flush=True)
+        from repro.obs.flightrecorder import flight_recorder  # no import cycle at module load
+
+        recorder = flight_recorder()
+        if recorder is not None:
+            recorder.emit(
+                "heartbeat",
+                label=self.label,
+                trials=self.trials,
+                total=self.total,
+                trials_per_second=round(self.trials / elapsed, 3) if elapsed > 0 else 0.0,
+                jobs=self.counts.get("jobs", 0),
+                jobs_total=self.jobs_total,
+            )
         return line
 
     def finish(self) -> dict:
@@ -96,7 +120,7 @@ class ProgressReporter:
     def summary(self) -> dict:
         """Machine-readable run summary (merged into run manifests)."""
         elapsed = self._clock() - self._started
-        return {
+        summary = {
             "label": self.label,
             "trials": self.trials,
             "wall_seconds": elapsed,
@@ -104,6 +128,9 @@ class ProgressReporter:
             "heartbeats": self.heartbeats,
             "counts": dict(self.counts),
         }
+        if self.jobs_total is not None:
+            summary["jobs_total"] = self.jobs_total
+        return summary
 
 
 # ------------------------------------------------------------ current reporter

@@ -14,6 +14,10 @@ Exports:
 * :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome trace-event
   JSON (the ``traceEvents`` array format) loadable in Perfetto or
   ``chrome://tracing``; one pid per node, one tid per phase.
+* :func:`flight_to_chrome_trace` / :func:`write_flight_chrome_trace` — the
+  same format from engine flight-recorder events
+  (:mod:`repro.obs.flightrecorder`): one process track per worker PID plus
+  a scheduler track with queue-depth/utilization counters.
 * :mod:`repro.obs.postmortem` consumes the same spans to reconstruct the
   detection→repair critical path per incident.
 
@@ -385,8 +389,9 @@ def validate_chrome_trace(doc: Any) -> list[str]:
 
     An empty list means the document satisfies the subset of the Trace
     Event Format that Perfetto requires: a ``traceEvents`` array whose
-    entries carry ``ph``/``pid``/``ts`` with the right types, and complete
-    events additionally a non-negative ``dur``.
+    entries carry ``ph``/``pid``/``ts`` with the right types, complete
+    events additionally a non-negative ``dur``, and counter events
+    (``ph: "C"``, the scheduler-track gauges) numeric ``args``.
     """
     problems: list[str] = []
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
@@ -397,7 +402,7 @@ def validate_chrome_trace(doc: Any) -> list[str]:
             problems.append(f"{where}: not an object")
             continue
         ph = ev.get("ph")
-        if ph not in {"X", "i", "M", "B", "E", "s", "f", "t"}:
+        if ph not in {"X", "i", "M", "B", "E", "s", "f", "t", "C"}:
             problems.append(f"{where}: unknown ph {ph!r}")
             continue
         if not isinstance(ev.get("name"), str):
@@ -413,4 +418,165 @@ def validate_chrome_trace(doc: Any) -> list[str]:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: X event needs non-negative dur, got {dur!r}")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"{where}: C event needs a dict of numeric args, got {args!r}")
     return problems
+
+
+# ------------------------------------------------- flight-recorder trace export
+#: flight-event kinds rendered as instant markers on their worker's track
+FLIGHT_INSTANT_KINDS = {
+    "worker.spawn",
+    "worker.exit",
+    "job.retry",
+    "job.timeout",
+}
+
+#: flight-event kinds rendered as instant markers on the scheduler track
+FLIGHT_SCHEDULER_INSTANTS = {
+    "plan.begin",
+    "plan.end",
+    "job.submitted",
+    "job.resumed",
+    "pool.respawn",
+    "checkpoint.write",
+    "heartbeat",
+}
+
+_SCHEDULER_PID = 0
+_JOBS_TID = 1
+_EVENTS_TID = 2
+
+
+def flight_to_chrome_trace(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Convert flight-recorder events to Chrome trace-event JSON.
+
+    One Perfetto process per worker OS pid (named ``worker <pid>``; the
+    coordinating process is named ``scheduler``), with:
+
+    * complete (``ph: "X"``) job bars on each worker's ``jobs`` thread,
+      reconstructed from ``job.completed`` / ``job.quarantined`` events and
+      their recorded wall time (a job's bar ends at the event and extends
+      ``wall_s`` back, covering every attempt and backoff);
+    * instant markers for submissions, retries, timeouts, checkpoint
+      writes, pool respawns, and worker spawn/exit;
+    * counter (``ph: "C"``) tracks on the scheduler process fed by
+      ``scheduler.gauge`` samples — queue depth and pool utilization over
+      wall time.
+
+    Timestamps are microseconds since the first event (Perfetto needs
+    non-negative ``ts``); wall-clock ordering across workers is preserved
+    because every event carries the emitting process's own clock.
+    """
+    events = [dict(e) for e in events]
+    if not events:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(float(e.get("t", 0.0)) for e in events)
+    scheduler_os_pid: int | None = None
+    for event in events:
+        if event.get("kind") in ("plan.begin", "plan.end", "run.end"):
+            scheduler_os_pid = int(event.get("pid", 0))
+            break
+
+    pids: dict[int, str] = {}
+
+    def track(os_pid: int) -> int:
+        if scheduler_os_pid is not None and os_pid == scheduler_os_pid:
+            pids.setdefault(_SCHEDULER_PID, "scheduler")
+            return _SCHEDULER_PID
+        pids.setdefault(os_pid, f"worker {os_pid}")
+        return os_pid
+
+    out: list[dict[str, Any]] = []
+    for event in events:
+        kind = str(event.get("kind", "?"))
+        ts = max(0.0, (float(event.get("t", t0)) - t0) * 1e6)
+        os_pid = int(event.get("pid", 0))
+        pid = track(os_pid)
+        if kind in ("job.completed", "job.quarantined"):
+            wall_us = max(0.0, float(event.get("wall_s", 0.0)) * 1e6)
+            args = {
+                k: v
+                for k, v in event.items()
+                if k in ("attempts", "ok", "seed_fingerprint", "cpu_s", "error", "timed_out")
+            }
+            out.append(
+                {
+                    "name": str(event.get("job", "?")),
+                    "cat": kind,
+                    "ph": "X",
+                    "ts": max(0.0, ts - wall_us),
+                    "dur": wall_us,
+                    "pid": pid,
+                    "tid": _JOBS_TID,
+                    "args": args,
+                }
+            )
+        elif kind == "scheduler.gauge":
+            pids.setdefault(_SCHEDULER_PID, "scheduler")
+            out.append(
+                {
+                    "name": "queue depth",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": _SCHEDULER_PID,
+                    "tid": _EVENTS_TID,
+                    "args": {"jobs": float(event.get("queue_depth", 0))},
+                }
+            )
+            out.append(
+                {
+                    "name": "pool utilization",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": _SCHEDULER_PID,
+                    "tid": _EVENTS_TID,
+                    "args": {"busy_fraction": float(event.get("utilization", 0.0))},
+                }
+            )
+        elif kind in FLIGHT_INSTANT_KINDS or kind in FLIGHT_SCHEDULER_INSTANTS:
+            if kind in FLIGHT_SCHEDULER_INSTANTS:
+                pids.setdefault(_SCHEDULER_PID, "scheduler")
+                pid = _SCHEDULER_PID
+            name = kind if "job" not in event else f"{kind}: {event['job']}"
+            args = {
+                k: v
+                for k, v in event.items()
+                if k not in ("t", "kind", "pid", "seq", "experiment") and v is not None
+            }
+            out.append(
+                {
+                    "name": name,
+                    "cat": kind,
+                    "ph": "i",
+                    "s": "g",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": _EVENTS_TID,
+                    "args": args,
+                }
+            )
+
+    meta: list[dict[str, Any]] = []
+    for pid, name in sorted(pids.items()):
+        meta.append({"ph": "M", "name": "process_name", "pid": pid, "args": {"name": name}})
+        meta.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": _JOBS_TID, "args": {"name": "jobs"}}
+        )
+        meta.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": _EVENTS_TID,
+             "args": {"name": "events"}}
+        )
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+
+
+def write_flight_chrome_trace(path: str | Path, events: Iterable[Mapping[str, Any]]) -> Path:
+    """Write :func:`flight_to_chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(flight_to_chrome_trace(events)) + "\n")
+    return path

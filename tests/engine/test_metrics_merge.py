@@ -71,3 +71,60 @@ def test_absorb_tolerates_minimal_summary():
     parent = ProgressReporter("run", interval_s=1e12)
     parent.absorb({})
     assert parent.summary()["trials"] == 0
+
+
+def _worker_registry(trials: int, latency_obs: list[float], hook_errors: int) -> MetricsRegistry:
+    """One simulated pool worker's registry, the shape executors merge back."""
+    registry = ensure_core_metrics(MetricsRegistry())
+    registry.counter("sim_events_total").add(trials)
+    registry.counter("hook_errors_total").add(hook_errors)
+    histogram = registry.histogram("failover_latency_seconds", buckets=(0.1, 1.0, 10.0))
+    for value in latency_obs:
+        histogram.observe(value)
+    return registry
+
+
+class TestFleetMerge:
+    """Three-plus worker registries folding into one parent, as a pool run does."""
+
+    def test_three_workers_with_overlapping_histograms(self):
+        parent = ensure_core_metrics(MetricsRegistry())
+        workers = [
+            _worker_registry(100, [0.05, 0.5], hook_errors=0),
+            _worker_registry(250, [0.5, 5.0], hook_errors=2),
+            _worker_registry(150, [5.0, 50.0], hook_errors=1),
+        ]
+        for worker in workers:
+            parent.merge(worker)
+        assert parent.counter("sim_events_total").value == 500
+        assert parent.counter("hook_errors_total").value == 3
+        merged = parent.histogram("failover_latency_seconds", buckets=(0.1, 1.0, 10.0))
+        assert merged.count == 6
+        assert merged.min == 0.05
+        assert merged.max == 50.0
+        assert merged.sum == pytest.approx(61.05)
+
+    def test_merge_is_order_independent(self):
+        workers = [
+            _worker_registry(10, [0.2], hook_errors=1),
+            _worker_registry(20, [2.0], hook_errors=0),
+            _worker_registry(30, [20.0], hook_errors=4),
+        ]
+        forward = ensure_core_metrics(MetricsRegistry())
+        for worker in workers:
+            forward.merge(worker)
+        backward = ensure_core_metrics(MetricsRegistry())
+        for worker in reversed(workers):
+            backward.merge(worker)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_absorbing_three_worker_reporters(self):
+        parent = ProgressReporter("run", interval_s=1e12)
+        for trials, counts in ((100, {"jobs": 3}), (250, {"jobs": 5, "pair_down": 2}),
+                               (150, {"jobs": 4, "hook_errors": 1})):
+            worker = ProgressReporter("run", interval_s=1e12)
+            worker.add(trials, **counts)
+            parent.absorb(worker.summary())
+        summary = parent.summary()
+        assert summary["trials"] == 500
+        assert summary["counts"] == {"jobs": 12, "pair_down": 2, "hook_errors": 1}

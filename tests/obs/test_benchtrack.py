@@ -1,0 +1,165 @@
+"""Bench regression tracking: snapshot diffing, CI-aware gates, CLI exit codes."""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.benchtrack import (
+    BENCH_DIFF_EXIT_REGRESSION,
+    bench_diff_report,
+    collect_snapshots,
+    diff_snapshots,
+    relative_stderr,
+    render_bench_diff,
+)
+from repro.obs.cli import main as obs_main
+
+COMMITTED = Path(__file__).resolve().parents[2] / "benchmarks" / "BENCH_bench_sweep_kernel.json"
+REGRESSED = Path(__file__).parent / "data" / "BENCH_bench_sweep_kernel_regressed.json"
+
+
+def _snapshot(created, results, module="bench_demo"):
+    return {"schema": 1, "module": module, "created_unix": created, "results": results}
+
+
+def _row(fullname, mean, stddev=0.0, rounds=1, **extra):
+    return {"fullname": fullname, "mean": mean, "stddev": stddev, "rounds": rounds, **extra}
+
+
+def _write(path, doc):
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestRelativeStderr:
+    def test_stddev_over_mean_root_rounds(self):
+        row = _row("t", mean=2.0, stddev=0.2, rounds=25)
+        assert relative_stderr(row) == pytest.approx(0.2 / (2.0 * 5.0))
+
+    def test_single_round_has_no_spread_information(self):
+        assert relative_stderr(_row("t", mean=2.0, stddev=0.5, rounds=1)) == 0.0
+        assert relative_stderr(_row("t", mean=0.0, stddev=0.5, rounds=10)) == 0.0
+
+
+class TestDiffSnapshots:
+    def test_flat_snapshots_report_no_regressions(self, tmp_path):
+        a = _write(tmp_path / "BENCH_a.json", _snapshot(1.0, [_row("t::x", 1.0)]))
+        b = _write(tmp_path / "BENCH_b.json", _snapshot(2.0, [_row("t::x", 1.01)]))
+        deltas = diff_snapshots([a, b])
+        assert len(deltas) == 1
+        assert not deltas[0].regressed and not deltas[0].improved
+        assert deltas[0].delta_frac == pytest.approx(0.01)
+
+    def test_slowdown_beyond_threshold_regresses(self, tmp_path):
+        a = _write(tmp_path / "BENCH_a.json", _snapshot(1.0, [_row("t::x", 1.0)]))
+        b = _write(tmp_path / "BENCH_b.json", _snapshot(2.0, [_row("t::x", 1.25)]))
+        (delta,) = diff_snapshots([a, b])
+        assert delta.regressed
+        assert delta.threshold_frac == pytest.approx(0.05)  # quiet benchmark: min_rel rules
+
+    def test_noisy_benchmark_gets_a_wider_gate(self, tmp_path):
+        noisy = _row("t::x", mean=1.0, stddev=0.5, rounds=4)  # rel SE = 0.25
+        a = _write(tmp_path / "BENCH_a.json", _snapshot(1.0, [noisy]))
+        b = _write(tmp_path / "BENCH_b.json", _snapshot(2.0, [_row("t::x", 1.25)]))
+        (delta,) = diff_snapshots([a, b])
+        assert delta.threshold_frac == pytest.approx(3.0 * 0.25)
+        assert not delta.regressed  # +25% is inside a 75% noise gate
+
+    def test_ops_is_higher_is_better(self, tmp_path):
+        a = _write(tmp_path / "BENCH_a.json", _snapshot(1.0, [_row("t::x", 1.0, ops=100.0)]))
+        b = _write(tmp_path / "BENCH_b.json", _snapshot(2.0, [_row("t::x", 1.0, ops=70.0)]))
+        (delta,) = diff_snapshots([a, b], metric="ops")
+        assert delta.regressed
+        assert delta.delta_frac == pytest.approx(0.3)  # normalized: positive = worse
+
+    def test_history_spans_all_snapshots_ordered_by_created_unix(self, tmp_path):
+        # written out of order on purpose: created_unix decides base vs new
+        _write(tmp_path / "BENCH_new.json", _snapshot(3.0, [_row("t::x", 3.0)]))
+        _write(tmp_path / "BENCH_old.json", _snapshot(1.0, [_row("t::x", 1.0)]))
+        _write(tmp_path / "BENCH_mid.json", _snapshot(2.0, [_row("t::x", 2.0)]))
+        (delta,) = diff_snapshots([tmp_path])
+        assert delta.base == 1.0 and delta.new == 3.0
+        assert delta.history == [1.0, 2.0, 3.0]
+
+    def test_unpaired_benchmarks_are_skipped(self, tmp_path):
+        a = _write(tmp_path / "BENCH_a.json",
+                   _snapshot(1.0, [_row("t::old", 1.0), _row("t::both", 1.0)]))
+        b = _write(tmp_path / "BENCH_b.json",
+                   _snapshot(2.0, [_row("t::new", 1.0), _row("t::both", 1.0)]))
+        deltas = diff_snapshots([a, b])
+        assert [d.fullname for d in deltas] == ["t::both"]
+
+    def test_single_snapshot_is_an_error(self, tmp_path):
+        a = _write(tmp_path / "BENCH_a.json", _snapshot(1.0, [_row("t::x", 1.0)]))
+        with pytest.raises(ValueError, match="at least two snapshots"):
+            diff_snapshots([a])
+
+    def test_modules_diff_independently(self, tmp_path):
+        _write(tmp_path / "BENCH_a1.json", _snapshot(1.0, [_row("t::x", 1.0)], module="m1"))
+        _write(tmp_path / "BENCH_a2.json", _snapshot(2.0, [_row("t::x", 2.0)], module="m1"))
+        _write(tmp_path / "BENCH_b1.json", _snapshot(1.0, [_row("t::y", 1.0)], module="m2"))
+        groups = collect_snapshots([tmp_path])
+        assert sorted(groups) == ["m1", "m2"]
+        deltas = diff_snapshots([tmp_path])  # m2 has one snapshot: skipped, m1 diffs
+        assert [d.module for d in deltas] == ["m1"]
+
+
+class TestCommittedFixtures:
+    def test_committed_regressed_fixture_trips_the_gate(self):
+        deltas = diff_snapshots([COMMITTED, REGRESSED])
+        assert len(deltas) == 4
+        assert all(d.regressed for d in deltas)
+        assert all(d.delta_frac == pytest.approx(0.25) for d in deltas)
+
+    def test_self_diff_is_clean(self):
+        deltas = diff_snapshots([COMMITTED, COMMITTED])
+        assert deltas and not any(d.regressed for d in deltas)
+
+    def test_history_has_no_nans_for_paired_benchmarks(self):
+        for delta in diff_snapshots([COMMITTED, REGRESSED]):
+            assert not any(math.isnan(v) for v in delta.history)
+
+
+class TestRendering:
+    def test_table_marks_regressions_and_sorts_worst_first(self, tmp_path):
+        a = _write(tmp_path / "BENCH_a.json",
+                   _snapshot(1.0, [_row("t::slow", 1.0), _row("t::ok", 1.0)]))
+        b = _write(tmp_path / "BENCH_b.json",
+                   _snapshot(2.0, [_row("t::slow", 1.5), _row("t::ok", 1.01)]))
+        text = render_bench_diff(diff_snapshots([a, b]))
+        assert "1 REGRESSION(S)" in text
+        assert text.index("slow") < text.index("ok")  # worst movement first
+        assert "REGRESSED" in text
+
+    def test_report_payload(self, tmp_path):
+        a = _write(tmp_path / "BENCH_a.json", _snapshot(1.0, [_row("t::x", 1.0)]))
+        b = _write(tmp_path / "BENCH_b.json", _snapshot(2.0, [_row("t::x", 2.0)]))
+        report = bench_diff_report(diff_snapshots([a, b]))
+        assert report["metric"] == "mean"
+        assert report["regressions"] == ["t::x"]
+        assert report["deltas"][0]["delta_frac"] == pytest.approx(1.0)
+        json.dumps(report)  # JSON-serializable end to end
+
+
+class TestCli:
+    def test_clean_diff_exits_zero(self, capsys):
+        code = obs_main(["bench-diff", str(COMMITTED), str(COMMITTED)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, capsys):
+        code = obs_main(["bench-diff", str(COMMITTED), str(REGRESSED)])
+        assert code == BENCH_DIFF_EXIT_REGRESSION
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        code = obs_main(["bench-diff", "--json", str(COMMITTED), str(REGRESSED)])
+        assert code == BENCH_DIFF_EXIT_REGRESSION
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["regressions"]) == 4
+
+    def test_bad_input_exits_one(self, capsys):
+        assert obs_main(["bench-diff", str(COMMITTED)]) == 1
+        assert "at least two snapshots" in capsys.readouterr().err

@@ -1,0 +1,197 @@
+"""Flight recorder: event stream integrity across workers, crashes, and replays."""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import Job, JobPlan, ParallelExecutor, RetryPolicy, SerialExecutor
+from repro.obs.flightrecorder import (
+    EVENT_KINDS,
+    FlightRecorder,
+    flight_summary,
+    read_flight_events,
+    set_flight_recorder,
+)
+from repro.obs.spans import flight_to_chrome_trace, validate_chrome_trace
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.001, jitter_frac=0.0)
+
+
+def _draw(params, seed_seq):
+    return float(np.random.default_rng(seed_seq).random())
+
+
+def _worker_killer(params, seed_seq):
+    """Kills its host process once (first run), then returns normally."""
+    marker = Path(params["marker"])
+    if not marker.exists():
+        marker.write_text("killed worker")
+        os._exit(1)
+    return _draw(params, seed_seq)
+
+
+def _plan(jobs, experiment="flight", seed=5):
+    return JobPlan(experiment=experiment, seed=seed, jobs=jobs, reduce=lambda v: v)
+
+
+@pytest.fixture
+def recorder(tmp_path):
+    rec = FlightRecorder(tmp_path / "run.flight.jsonl", experiment="flight")
+    set_flight_recorder(rec)
+    yield rec
+    set_flight_recorder(None)
+    rec.close()
+
+
+class TestRecorderCore:
+    def test_emit_writes_jsonl_with_monotone_seq(self, tmp_path):
+        rec = FlightRecorder(tmp_path / "a.flight.jsonl", experiment="exp")
+        rec.emit("plan.begin", jobs=2)
+        rec.emit("job.submitted", job="j1")
+        summary = rec.close()
+        events = read_flight_events(tmp_path / "a.flight.jsonl")
+        assert [e["kind"] for e in events] == ["plan.begin", "job.submitted", "run.end"]
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        assert all(e["experiment"] == "exp" for e in events)
+        assert summary["events"] == 3
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        rec = FlightRecorder(tmp_path / "a.flight.jsonl")
+        rec.close()
+        rec.emit("job.attempt", job="late")
+        assert [e["kind"] for e in read_flight_events(tmp_path / "a.flight.jsonl")] == ["run.end"]
+
+    def test_buffer_mode_drain_hands_events_to_parent_ingest(self, tmp_path):
+        worker = FlightRecorder(None, experiment="exp")
+        worker.emit("worker.spawn")
+        worker.emit("job.completed", job="j1", ok=True)
+        payload = worker.drain()
+        assert worker.drain() == []  # drain clears
+        assert all("seq" not in e for e in payload)  # parent owns global order
+
+        parent = FlightRecorder(tmp_path / "p.flight.jsonl")
+        parent.emit("plan.begin")
+        assert parent.ingest(payload) == 2
+        parent.close()
+        events = read_flight_events(tmp_path / "p.flight.jsonl")
+        assert [e["seq"] for e in events] == [1, 2, 3, 4]
+        assert events[2]["kind"] == "job.completed"
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "torn.flight.jsonl"
+        rec = FlightRecorder(path, experiment="exp")
+        rec.emit("plan.begin")
+        rec.emit("job.completed", job="j1")
+        rec.close()
+        # simulate SIGKILL mid-write: append a torn final line
+        with path.open("a") as sink:
+            sink.write('{"t": 1.0, "kind": "job.comp')
+        events = read_flight_events(path)
+        assert [e["kind"] for e in events] == ["plan.begin", "job.completed", "run.end"]
+        assert flight_summary(events)["events"] == 3
+
+    def test_summary_attributes_jobs_to_worker_pids(self, tmp_path):
+        rec = FlightRecorder(tmp_path / "a.flight.jsonl")
+        rec.emit("job.completed", job="j1", pid=111)
+        rec.emit("job.completed", job="j2", pid=111)
+        rec.emit("job.completed", job="j3", pid=222)
+        summary = rec.close()
+        assert summary["workers"]["111"] == {"jobs": 2, "names": ["j1", "j2"]}
+        assert summary["workers"]["222"]["jobs"] == 1
+
+
+class TestEngineInstrumentation:
+    def test_serial_run_records_full_job_lifecycle(self, recorder):
+        SerialExecutor().run(_plan([Job("a", _draw), Job("b", _draw)]))
+        recorder.flush()
+        kinds = [e["kind"] for e in read_flight_events(recorder.path)]
+        assert kinds.count("plan.begin") == 1
+        assert kinds.count("job.submitted") == 2
+        assert kinds.count("job.attempt") == 2
+        assert kinds.count("job.completed") == 2
+        assert kinds.count("plan.end") == 1
+        # lifecycle order holds per job
+        assert kinds.index("plan.begin") < kinds.index("job.submitted")
+        assert kinds.index("job.attempt") < kinds.index("job.completed")
+
+    def test_completed_events_carry_timing_and_seed_fingerprint(self, recorder):
+        SerialExecutor().run(_plan([Job("a", _draw)]))
+        recorder.flush()
+        done = [e for e in read_flight_events(recorder.path) if e["kind"] == "job.completed"]
+        assert len(done) == 1
+        assert done[0]["job"] == "a"
+        assert done[0]["ok"] is True
+        assert done[0]["wall_s"] >= 0.0
+        assert done[0]["cpu_s"] >= 0.0
+        assert isinstance(done[0]["seed_fingerprint"], int)
+
+    def test_parallel_run_keeps_one_totally_ordered_stream(self, recorder):
+        names = [f"j{i}" for i in range(8)]
+        ParallelExecutor(workers=3, policy=FAST_RETRY).run(
+            _plan([Job(n, _draw) for n in names])
+        )
+        recorder.flush()
+        events = read_flight_events(recorder.path)
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+        kinds = {e["kind"] for e in events}
+        assert {"plan.begin", "job.submitted", "job.completed", "worker.spawn",
+                "worker.exit", "scheduler.gauge", "plan.end"} <= kinds
+        assert kinds <= EVENT_KINDS | {"run.end"}
+        # every completed job ran in a real worker process, not the parent
+        parent = os.getpid()
+        done_pids = {e["pid"] for e in events if e["kind"] == "job.completed"}
+        assert done_pids and parent not in done_pids
+
+    def test_pool_respawn_is_recorded_and_stream_stays_ordered(self, recorder, tmp_path):
+        jobs = [Job(f"j{i}", _draw) for i in range(5)]
+        jobs.append(Job("killer", _worker_killer, {"marker": str(tmp_path / "kill")}))
+        execution = ParallelExecutor(workers=2, policy=FAST_RETRY).run(_plan(jobs))
+        assert execution.pool_respawns >= 1
+        recorder.flush()
+        events = read_flight_events(recorder.path)
+        respawns = [e for e in events if e["kind"] == "pool.respawn"]
+        assert respawns and respawns[0]["requeued"] >= 1
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+        # the killed worker's replacement completed the poisoned job
+        assert "killer" in {e.get("job") for e in events if e["kind"] == "job.completed"}
+
+    def test_retry_and_quarantine_events(self, recorder):
+        def _always_fails(params, seed_seq):
+            raise RuntimeError("permanent failure")
+
+        SerialExecutor(policy=FAST_RETRY).run(
+            _plan([Job("doomed", _always_fails), Job("ok", _draw)])
+        )
+        recorder.flush()
+        events = read_flight_events(recorder.path)
+        doomed = [e for e in events if e.get("job") == "doomed"]
+        kinds = [e["kind"] for e in doomed]
+        assert kinds.count("job.attempt") == 3
+        assert kinds.count("job.retry") == 2
+        assert kinds[-1] == "job.quarantined"
+        assert doomed[-1]["attempts"] == 3
+        assert "permanent failure" in doomed[-1]["error"]
+
+
+class TestChromeExport:
+    def test_parallel_stream_converts_to_valid_trace_with_worker_tracks(self, recorder):
+        ParallelExecutor(workers=2, policy=FAST_RETRY).run(
+            _plan([Job(f"j{i}", _draw) for i in range(6)])
+        )
+        recorder.flush()
+        trace = flight_to_chrome_trace(read_flight_events(recorder.path))
+        assert validate_chrome_trace(trace) == []
+        tracks = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert "scheduler" in tracks
+        assert sum(1 for t in tracks if t.startswith("worker ")) == 2
+        bars = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert {b["name"] for b in bars} == {f"j{i}" for i in range(6)}
+        counters = {e["name"] for e in trace["traceEvents"] if e.get("ph") == "C"}
+        assert counters == {"queue depth", "pool utilization"}

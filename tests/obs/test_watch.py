@@ -1,0 +1,158 @@
+"""Watch dashboard: state reducer, renderer snapshot, and the tail loop."""
+
+import io
+import json
+
+from repro.obs.watch import WATCH_EXIT_TIMEOUT, WatchState, follow, render_watch
+
+
+def _events():
+    """A small but representative parallel-run stream."""
+    return [
+        {"t": 0.0, "kind": "plan.begin", "pid": 1, "experiment": "figure2",
+         "backend": "process-pool", "workers": 2, "jobs": 4, "total_trials": 4000},
+        {"t": 0.1, "kind": "job.submitted", "pid": 1, "job": "mc/n=3"},
+        {"t": 0.1, "kind": "job.submitted", "pid": 1, "job": "mc/n=4"},
+        {"t": 0.1, "kind": "job.submitted", "pid": 1, "job": "mc/n=5"},
+        {"t": 0.1, "kind": "job.submitted", "pid": 1, "job": "mc/n=6"},
+        {"t": 0.2, "kind": "worker.spawn", "pid": 101},
+        {"t": 0.2, "kind": "worker.spawn", "pid": 102},
+        {"t": 0.3, "kind": "scheduler.gauge", "pid": 1, "queue_depth": 4,
+         "outstanding_chunks": 2, "utilization": 1.0, "workers": 2},
+        {"t": 0.4, "kind": "job.attempt", "pid": 101, "job": "mc/n=3", "attempt": 1},
+        {"t": 0.5, "kind": "job.retry", "pid": 101, "job": "mc/n=3", "attempt": 1,
+         "backoff_s": 0.01},
+        {"t": 0.6, "kind": "job.attempt", "pid": 101, "job": "mc/n=3", "attempt": 2},
+        {"t": 1.0, "kind": "job.completed", "pid": 101, "job": "mc/n=3", "ok": True,
+         "attempts": 2, "wall_s": 0.6, "cpu_s": 0.5, "seed_fingerprint": 7},
+        {"t": 1.1, "kind": "job.attempt", "pid": 102, "job": "mc/n=4", "attempt": 1},
+        {"t": 1.2, "kind": "checkpoint.write", "pid": 1, "job": "mc/n=3",
+         "records": 1, "bytes": 120},
+        {"t": 1.3, "kind": "heartbeat", "pid": 1, "label": "figure2", "trials": 1000,
+         "total": 4000, "trials_per_second": 800.0, "jobs": 1, "jobs_total": 4},
+    ]
+
+
+class TestWatchState:
+    def test_reducer_folds_the_stream(self):
+        state = WatchState().apply_all(_events())
+        assert state.experiment == "figure2"
+        assert state.backend == "process-pool"
+        assert state.jobs_total == 4
+        assert state.jobs_submitted == 4
+        assert state.jobs_done == 1
+        assert state.retries == 1
+        assert state.queue_depth == 4
+        assert state.trials == 1000
+        assert state.total_trials == 4000
+        assert state.checkpoint_records == 1
+        assert not state.finished
+        assert state.workers[101].state == "idle"
+        assert state.workers[101].jobs_done == 1
+        assert state.workers[101].retries == 1
+        assert state.workers[102].state == "running"
+        assert state.workers[102].job == "mc/n=4"
+
+    def test_run_end_finishes_and_eta_derives_from_job_throughput(self):
+        state = WatchState().apply_all(_events())
+        # 1 of 4 jobs done in 1.3s of stream time -> 3 * 1.3 left
+        assert state.eta_s() == 3 * state.elapsed_s
+        state.apply({"t": 2.0, "kind": "run.end", "pid": 1, "events": 15})
+        assert state.finished
+        assert state.eta_s() is None
+
+    def test_resumed_jobs_count_as_done(self):
+        state = WatchState()
+        state.apply({"t": 0.0, "kind": "plan.begin", "pid": 1, "jobs": 2,
+                     "backend": "serial", "workers": 1, "resumed": 2})
+        state.apply({"t": 0.1, "kind": "job.resumed", "pid": 1, "job": "a"})
+        state.apply({"t": 0.1, "kind": "job.resumed", "pid": 1, "job": "b"})
+        assert state.jobs_done == 2
+        assert state.jobs_resumed == 2
+
+    def test_to_dict_is_json_serializable(self):
+        payload = WatchState().apply_all(_events()).to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["jobs"] == {
+            "total": 4, "submitted": 4, "done": 1, "resumed": 0, "quarantined": 0,
+        }
+        assert round_tripped["workers"]["102"]["job"] == "mc/n=4"
+
+    def test_unknown_kinds_only_bump_the_event_count(self):
+        state = WatchState()
+        state.apply({"t": 0.0, "kind": "future.kind", "pid": 1})
+        assert state.events == 1
+        assert state.jobs_done == 0
+
+
+class TestRenderWatch:
+    def test_plain_snapshot(self):
+        text = render_watch(WatchState().apply_all(_events()), color=False)
+        assert text.splitlines() == [
+            "flight: figure2 (process-pool, 2 worker(s))  [RUNNING]",
+            "jobs ######------------------ 1/4 ( 25%)  queue 4 · retries 1",
+            "trials 1,000/4,000 (800/s) · elapsed 1.3s · ETA 4s · pool 100% busy",
+            "  worker 101      idle                                       1 job(s), 1 retried",
+            "  worker 102      running mc/n=4                             0 job(s)",
+            "checkpoint: 1 record(s) · last mc/n=3",
+        ]
+
+    def test_empty_state_renders_waiting(self):
+        text = render_watch(WatchState(), color=False)
+        assert "[WAITING]" in text
+        assert "jobs 0 done" in text
+
+    def test_color_mode_emits_ansi(self):
+        assert "\x1b[" in render_watch(WatchState().apply_all(_events()), color=True)
+
+
+class TestFollow:
+    def test_once_renders_current_state_and_exits_zero(self, tmp_path):
+        path = tmp_path / "run.flight.jsonl"
+        path.write_text("".join(json.dumps(e) + "\n" for e in _events()))
+        out = io.StringIO()
+        assert follow(path, once=True, color=False, stream=out) == 0
+        assert "flight: figure2" in out.getvalue()
+
+    def test_incremental_tail_ignores_partial_final_line(self, tmp_path):
+        path = tmp_path / "run.flight.jsonl"
+        events = _events()
+        complete = "".join(json.dumps(e) + "\n" for e in events[:3])
+        torn = json.dumps(events[3])[:10]  # writer mid-flush
+        path.write_text(complete + torn)
+        out = io.StringIO()
+        follow(path, once=True, as_json=True, stream=out)
+        payload = json.loads(out.getvalue())
+        assert payload["events"] == 3
+        assert payload["jobs"]["submitted"] == 2
+
+    def test_duration_budget_expires_with_timeout_exit(self, tmp_path):
+        path = tmp_path / "run.flight.jsonl"
+        path.write_text(json.dumps(_events()[0]) + "\n")  # no run.end ever
+        ticks = iter([0.0, 0.2, 10.0, 11.0, 12.0])
+        out = io.StringIO()
+        code = follow(
+            path,
+            interval_s=0.01,
+            duration_s=1.0,
+            color=False,
+            stream=out,
+            clock=lambda: next(ticks),
+            sleep=lambda s: None,
+        )
+        assert code == WATCH_EXIT_TIMEOUT
+
+    def test_follow_sees_run_end_appended_between_polls(self, tmp_path):
+        path = tmp_path / "run.flight.jsonl"
+        path.write_text(json.dumps(_events()[0]) + "\n")
+
+        def late_append(_s):
+            with path.open("a") as fh:
+                fh.write(json.dumps({"t": 9.0, "kind": "run.end", "pid": 1}) + "\n")
+
+        out = io.StringIO()
+        code = follow(path, interval_s=0.01, color=False, stream=out, sleep=late_append)
+        assert code == 0
+        frames = out.getvalue()
+        assert "[RUNNING]" in frames  # first poll, before the append
+        assert "[DONE]" in frames  # final frame after run.end arrived
