@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep quick-flight bench-gate examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep quick-flight quick-precision bench-gate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -94,6 +94,28 @@ quick-flight:
 	$(PYTHON) -m repro obs watch /tmp/drs-flight/figure2.flight.jsonl --once --no-color
 	$(PYTHON) -m repro obs --json /tmp/drs-flight/figure2.flight.jsonl > /dev/null
 	@echo "quick-flight: OK (flight stream -> 4 worker tracks + scheduler, watch replays)"
+
+# statistical-observability smoke: an adaptive quick run must emit per-cell
+# CI columns, stats.cell flight telemetry, a manifest precision block that
+# shows real trial savings, and render through the precision verb and the
+# watch panel
+quick-precision:
+	rm -rf /tmp/drs-precision
+	$(PYTHON) -m repro.experiments.runner --quick figure2 --target-ci 0.01 --out /tmp/drs-precision
+	test -f /tmp/drs-precision/figure2_mc_precision.csv
+	head -1 /tmp/drs-precision/figure2_mc_precision.csv | grep -q ci_low
+	grep -q '"kind": "stats.cell"' /tmp/drs-precision/figure2.flight.jsonl
+	grep -q '"precision"' /tmp/drs-precision/figure2.manifest.json
+	$(PYTHON) -m repro obs precision /tmp/drs-precision/figure2.flight.jsonl
+	$(PYTHON) -c "import json, subprocess, sys; \
+		out = subprocess.run([sys.executable, '-m', 'repro', 'obs', 'precision', \
+			'/tmp/drs-precision/figure2.manifest.json', '--json'], \
+			capture_output=True, text=True, check=True).stdout; \
+		report = json.loads(out); \
+		assert report['cells'] and report['met_target'] == report['cells'], report; \
+		assert report['trials_saved_fraction'] > 0, report"
+	$(PYTHON) -m repro obs watch /tmp/drs-precision/figure2.flight.jsonl --once --no-color | grep 'at target'
+	@echo "quick-precision: OK (adaptive run met its CI target with trials to spare)"
 
 # perf gate: the committed snapshot vs itself must pass; vs the +25%
 # regression fixture it must exit nonzero (proving the gate actually trips)

@@ -1,0 +1,106 @@
+"""Performance bench — adaptive stopping vs the fixed-count sweep.
+
+Guards the statistical-observability tentpole: ``simulate_grid`` with a
+``target_half_width`` must reach the *same* worst-cell Wilson precision as
+the fixed-iterations figure-2 quick grid while spending at least 30% fewer
+total trials.  The fixed run spends its full budget on every N row; the
+adaptive run stops each (N, f) cell at the target, so easy rows (small N,
+extreme f) freeze after a fraction of the budget and only the widest cells
+sample on.
+
+``test_adaptive_saves_trials_at_equal_precision`` is the CI savings gate:
+it *fails* if the adaptive controller ever needs more than 70% of the
+fixed-count trials to deliver the fixed run's precision (a regression in
+the stopping rule or the doubling schedule would trip it).  The committed
+``BENCH_bench_adaptive_stopping.json`` snapshot records the measured
+savings fraction via ``extra_info``; ``ADAPTIVE_BENCH_ITERATIONS`` shrinks
+the workload for the quick CI profile.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import simulate_grid
+
+# the figure-2 quick-profile shape: one f-family per N row
+NS = (7, 12, 17, 22, 27)
+F_GRID = (2, 3, 4, 5, 6)
+ITERATIONS = int(os.environ.get("ADAPTIVE_BENCH_ITERATIONS", "200000"))
+SEED = 2026
+MIN_SAVINGS = 0.30
+# cap the doubling schedule's round size: stopping decisions land on a finer
+# grid, so cells overshoot their needed trial count less (batching cannot
+# change any estimate — RNG consumption is batch-invariant)
+ADAPTIVE_BATCH = max(2000, ITERATIONS // 8)
+
+
+def _fixed_worst_half_width():
+    """Worst Wilson half-width over the fixed-count grid (the precision bar)."""
+    worst = 0.0
+    for n in NS:
+        cells = simulate_grid(n, F_GRID, ITERATIONS, seed=SEED, precision=True)
+        worst = max(worst, max(c.half_width for c in cells.values()))
+    return worst
+
+
+def test_fixed_grid_baseline(benchmark):
+    """The fixed-count sweep every cell pays the full budget for."""
+
+    def fixed():
+        return [simulate_grid(n, F_GRID, ITERATIONS, seed=SEED) for n in NS]
+
+    rows = benchmark.pedantic(fixed, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(rows) == len(NS)
+    benchmark.extra_info["total_trials"] = len(NS) * ITERATIONS
+
+
+def test_adaptive_saves_trials_at_equal_precision(benchmark):
+    """CI savings gate: same precision bar, >= 30% fewer trials."""
+    target = _fixed_worst_half_width()
+
+    def adaptive():
+        return [
+            simulate_grid(
+                n,
+                F_GRID,
+                iterations=2000,
+                seed=SEED,
+                target_half_width=target,
+                max_iterations=ITERATIONS,
+                batch=ADAPTIVE_BATCH,
+            )
+            for n in NS
+        ]
+
+    rows = benchmark.pedantic(adaptive, rounds=1, iterations=1, warmup_rounds=0)
+
+    # precision bar: every cell at or below the fixed run's worst half-width
+    worst = max(c.half_width for cells in rows for c in cells.values())
+    assert worst <= target * (1 + 1e-9)
+    assert all(c.met_target for cells in rows for c in cells.values())
+
+    # CRN accounting: a row's sampling cost is the max over its cells
+    adaptive_trials = sum(max(c.trials for c in cells.values()) for cells in rows)
+    fixed_trials = len(NS) * ITERATIONS
+    savings = 1 - adaptive_trials / fixed_trials
+    benchmark.extra_info["target_half_width"] = round(target, 6)
+    benchmark.extra_info["adaptive_trials"] = adaptive_trials
+    benchmark.extra_info["fixed_trials"] = fixed_trials
+    benchmark.extra_info["trials_saved_fraction"] = round(savings, 4)
+    assert savings >= MIN_SAVINGS, (
+        f"adaptive stopping saved only {savings:.0%} of {fixed_trials:,} fixed "
+        f"trials (gate: >= {MIN_SAVINGS:.0%})"
+    )
+
+
+def test_adaptive_result_matches_fixed_at_stopped_count():
+    """Spot-check the byte-identity contract on the bench workload itself."""
+    n = NS[2]
+    cells = simulate_grid(
+        n, F_GRID, iterations=2000, seed=SEED,
+        target_half_width=0.01, max_iterations=ITERATIONS,
+    )
+    for f, cell in cells.items():
+        fixed = simulate_grid(n, (f,), cell.trials, seed=SEED)
+        assert fixed[f] == pytest.approx(cell.point, abs=0)

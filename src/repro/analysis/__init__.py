@@ -32,6 +32,7 @@ from repro.analysis.exact import (
 )
 from repro.analysis.exhaustive import enumerate_success_probability, pair_connected
 from repro.analysis.montecarlo import (
+    DEFAULT_MAX_ADAPTIVE_TRIALS,
     connectivity_levels,
     failure_matrix_at,
     failure_rank_matrix,
@@ -69,6 +70,7 @@ from repro.analysis.stats import (
     ProportionEstimate,
     estimate_to_precision,
     mc_success_estimate,
+    normal_ppf,
     wilson_interval,
 )
 from repro.analysis.availability import (
@@ -94,6 +96,7 @@ __all__ = [
     "simulate_success_probability",
     "simulate_curve",
     "simulate_grid",
+    "DEFAULT_MAX_ADAPTIVE_TRIALS",
     "sample_failure_matrix",
     "failure_rank_matrix",
     "failure_matrix_at",
@@ -122,6 +125,7 @@ __all__ = [
     "pair_availability",
     "AvailabilityReport",
     "wilson_interval",
+    "normal_ppf",
     "estimate_to_precision",
     "mc_success_estimate",
     "ProportionEstimate",

@@ -67,6 +67,9 @@ def mean_absolute_deviation_grid(
     n_max: int = 63,
     seed: int | None = None,
     rng: np.random.Generator | None = None,
+    target_half_width: float | None = None,
+    confidence: float = 0.95,
+    max_iterations: int | None = None,
 ) -> dict[int, float]:
     """MAD for *every* ``f`` in one sweep over the common-random-numbers kernel.
 
@@ -76,6 +79,12 @@ def mean_absolute_deviation_grid(
     instead of ``len(f_values)`` times.  With ``seed``, every N gets its own
     spawned stream keyed by ``n`` alone, so estimates for any subset of
     ``f_values`` reproduce the corresponding slice of the full sweep.
+
+    ``target_half_width`` switches the kernel to adaptive-stopping mode:
+    each (N, f) cell samples until its Wilson interval at ``confidence``
+    reaches the target (``iterations`` becomes the first-batch floor,
+    ``max_iterations`` the per-N budget), so the MAD is computed over
+    estimates of uniform precision instead of uniform trial count.
     """
     _require_one_stream(rng, seed)
     if not f_values:
@@ -90,9 +99,18 @@ def mean_absolute_deviation_grid(
             if rng is not None
             else np.random.default_rng(spawn_seedseq(seed, f"mad-grid/n={n}"))
         )
-        estimates = simulate_grid(n, fs, iterations, rng=stream)
+        estimates = simulate_grid(
+            n,
+            fs,
+            iterations,
+            rng=stream,
+            target_half_width=target_half_width,
+            confidence=confidence,
+            max_iterations=max_iterations,
+        )
         for f in fs:
-            deviations[f].append(abs(estimates[f] - success_probability(n, f)))
+            point = estimates[f].point if target_half_width is not None else estimates[f]
+            deviations[f].append(abs(point - success_probability(n, f)))
     empty = [f for f, d in deviations.items() if not d]
     if empty:
         raise ValueError(f"empty N domain for f={empty[0]}, n_max={n_max}")

@@ -24,9 +24,15 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.obs.flightrecorder import flight_recorder
+from repro.obs.precision import CellPrecision, publish_cell_precision
 from repro.obs.profiler import publish_mc_throughput
 from repro.obs.progress import heartbeat
 from repro.simkit.rng import spawn_seedseq
+
+#: hard trial ceiling per (N, f-grid) row in adaptive-stopping mode, matching
+#: :func:`repro.analysis.stats.estimate_to_precision`'s default budget
+DEFAULT_MAX_ADAPTIVE_TRIALS = 5_000_000
 
 
 def _resolve_rng(
@@ -129,6 +135,16 @@ def simulate_success_probability(
         hb = heartbeat()
         if hb is not None:  # one global lookup per ≥200k-iteration batch
             hb.add(size)
+        # Per-batch precision snapshot on the flight channel (same None-check
+        # discipline): the Wilson interval costs a handful of scalar ops per
+        # ≥200k-iteration batch, and only when a recorder is installed.
+        if flight_recorder() is not None:
+            publish_cell_precision(
+                CellPrecision.from_counts(
+                    n, f, good, iterations - remaining, elapsed_s=perf_counter() - started
+                ),
+                done=remaining == 0,
+            )
     # One timing pair + registry update per call (not per batch): the
     # instrumentation cost is amortized over the whole iteration budget.
     publish_mc_throughput(iterations, perf_counter() - started)
@@ -216,7 +232,11 @@ def simulate_grid(
     two_hop: bool = True,
     batch: int = 200_000,
     seed: int | None = None,
-) -> dict[int, float]:
+    target_half_width: float | None = None,
+    confidence: float = 0.95,
+    max_iterations: int | None = None,
+    precision: bool = False,
+) -> dict[int, float] | dict[int, CellPrecision]:
     """Monte Carlo P[Success] at one N for *every* ``f`` in ``fs`` at once.
 
     The sweep kernel: rank one i.i.d. uniform key matrix per batch
@@ -233,7 +253,29 @@ def simulate_grid(
     ``fs`` — so any subset of the f-grid reproduces exactly that slice of
     the full sweep.
 
-    Returns ``{f: estimate}`` in the order of ``fs``.
+    Fixed-count mode (the default) runs exactly ``iterations`` trials and
+    returns ``{f: estimate}`` in the order of ``fs`` (``precision=True``
+    upgrades the values to :class:`~repro.obs.precision.CellPrecision`
+    records at ``confidence``).
+
+    Adaptive-stopping mode (``target_half_width`` set) runs the grid in
+    growing common-random-numbers batches — ``iterations`` is the first
+    batch, then the trial count doubles per round up to ``batch`` — and
+    *freezes* each cell the first time its Wilson half-width at
+    ``confidence`` reaches the target, recording the cell's (successes,
+    trials) at that batch boundary.  Sampling for the row continues until
+    every cell is frozen or the row hits ``max_iterations`` (default
+    ``DEFAULT_MAX_ADAPTIVE_TRIALS``; remaining cells are then frozen below
+    target, mirroring :func:`repro.analysis.stats.estimate_to_precision`'s
+    budget semantics).  Returns ``{f: CellPrecision}``.
+
+    Reproducibility contract: trial consumption is batching-invariant
+    (NumPy fills arrays from the stream in row-major order), so a cell
+    frozen at ``T`` trials is **byte-identical** to a fixed-count run at
+    ``iterations=T`` with the same stream — same successes, same estimate
+    — no matter how the adaptive schedule chunked the draws.  Every cell
+    snapshot is published as a ``stats.cell`` flight event when a recorder
+    is installed.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
@@ -243,22 +285,74 @@ def simulate_grid(
     for f in fs:
         if not 0 <= f <= width:
             raise ValueError(f"f must be in [0, {width}], got {f}")
+    adaptive = target_half_width is not None
+    if adaptive:
+        if target_half_width <= 0:
+            raise ValueError(f"target_half_width must be positive, got {target_half_width}")
+        if max_iterations is None:
+            max_iterations = DEFAULT_MAX_ADAPTIVE_TRIALS
+        if max_iterations < iterations:
+            raise ValueError(
+                f"max_iterations must be >= iterations ({iterations}), got {max_iterations}"
+            )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
     rng = _resolve_rng(rng, seed, f"mc-grid/n={n}")
     # survivors[s] accumulates rows with breakdown threshold >= s, so the
     # whole f-grid (indeed every f in [0, 2n+2]) reads off one histogram.
     survivors = np.zeros(width + 1, dtype=np.int64)
-    remaining = iterations
+    total = 0
+    budget = max_iterations if adaptive else iterations
+    frozen: dict[int, CellPrecision] = {}
     started = perf_counter()
-    while remaining > 0:
-        size = min(remaining, batch)
+
+    def cell_at(f: int) -> CellPrecision:
+        return CellPrecision.from_counts(
+            n,
+            f,
+            int(survivors[f]),
+            total,
+            confidence=confidence,
+            target_half_width=target_half_width,
+            elapsed_s=perf_counter() - started,
+        )
+
+    while total < budget:
+        if adaptive:
+            # first round is the caller's floor, then double, capped at the
+            # CRN batch size — overshoot past a cell's true stopping point
+            # is at most 2x, and CI checks stay O(log trials)
+            size = min(iterations if total == 0 else total, batch, budget - total)
+        else:
+            size = min(budget - total, batch)
         levels = connectivity_levels(rng.random((size, width)), two_hop=two_hop)
         counts = np.bincount(levels, minlength=width + 1)
         survivors += counts[::-1].cumsum()[::-1]
-        remaining -= size
+        total += size
         hb = heartbeat()
         if hb is not None:
             hb.add(size)
-    publish_mc_throughput(iterations, perf_counter() - started)
+        recording = flight_recorder() is not None
+        if adaptive:
+            exhausted = total >= budget
+            for f in fs:
+                if f in frozen:
+                    continue
+                cell = cell_at(f)
+                if cell.met_target or exhausted:
+                    frozen[f] = cell
+                if recording:
+                    publish_cell_precision(cell, done=f in frozen)
+            if len(frozen) == len(set(fs)):
+                break
+        elif recording:
+            for f in fs:
+                publish_cell_precision(cell_at(f), done=total >= budget)
+    publish_mc_throughput(total, perf_counter() - started)
+    if adaptive:
+        return {f: frozen[f] for f in fs}
+    if precision:
+        return {f: cell_at(f) for f in fs}
     return {f: int(survivors[f]) / iterations for f in fs}
 
 

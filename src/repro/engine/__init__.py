@@ -32,7 +32,7 @@ from repro.engine.executors import (
     SerialExecutor,
     make_executor,
 )
-from repro.engine.jobs import Job, JobFn, JobPlan, curve_value
+from repro.engine.jobs import Job, JobFn, JobPlan, cell_point, curve_value
 from repro.engine.retry import (
     FAIL_FAST,
     JobError,
@@ -97,6 +97,7 @@ __all__ = [
     "JobFn",
     "JobPlan",
     "curve_value",
+    "cell_point",
     "JobError",
     "JobTimeoutError",
     "JobOutcome",

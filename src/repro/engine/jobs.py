@@ -66,6 +66,24 @@ def curve_value(
     return row.get(key, default)
 
 
+def cell_point(
+    values: dict[str, Any], job_name: str, key: str, default: float = float("nan")
+) -> float:
+    """The point estimate of a curve-level row entry, precision-row tolerant.
+
+    Plain sweep jobs store a bare float per key; precision-aware jobs
+    (``--target-ci`` runs) store the cell's full
+    :meth:`~repro.obs.precision.CellPrecision.to_row` dict with the point
+    under ``"p"``.  Reducers that only need the estimate read through this
+    accessor so one reduction serves both row shapes, with the same
+    quarantine-tolerant ``default`` semantics as :func:`curve_value`.
+    """
+    value = curve_value(values, job_name, key, default)
+    if isinstance(value, dict):
+        return value.get("p", default)
+    return value
+
+
 @dataclass(frozen=True)
 class Job:
     """One independent unit of work inside a plan.

@@ -45,13 +45,17 @@ class ExperimentSpec:
             raise KeyError(f"spec {self.name!r} has no profile {profile!r}: {list(self.profiles)}")
         return dict(self.profiles[profile])
 
+    def accepts(self, keyword: str) -> bool:
+        """Whether ``run`` takes ``keyword`` (CLI flags probe before passing)."""
+        try:
+            return keyword in inspect.signature(self.run).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            return False
+
     @property
     def accepts_seed(self) -> bool:
         """Whether ``run`` takes a ``seed`` keyword (CLI ``--seed`` override)."""
-        try:
-            return "seed" in inspect.signature(self.run).parameters
-        except (TypeError, ValueError):  # pragma: no cover - exotic callables
-            return False
+        return self.accepts("seed")
 
 
 _REGISTRY: dict[str, ExperimentSpec] = {}

@@ -141,6 +141,92 @@ class ExperimentResult:
         return written
 
 
+def collect_precision_cells(values: dict[str, Any], prefix: str = "mc/n=") -> list[dict[str, Any]]:
+    """Flatten curve-level precision rows into per-cell dicts.
+
+    Reads every ``{prefix}{n}`` job row whose entries are
+    :meth:`~repro.obs.precision.CellPrecision.to_row` dicts (plain-float
+    rows and quarantined jobs contribute nothing), returning the row shape
+    :func:`~repro.obs.precision.precision_report` consumes.
+    """
+    cells: list[dict[str, Any]] = []
+    for job_name, row in values.items():
+        if not job_name.startswith(prefix) or not isinstance(row, dict):
+            continue
+        n = int(job_name[len(prefix):])
+        for key, entry in row.items():
+            if not isinstance(entry, dict) or "p" not in entry:
+                continue
+            cells.append(
+                {
+                    "n": n,
+                    "f": int(key),
+                    "point": float(entry["p"]),
+                    "low": float(entry["low"]),
+                    "high": float(entry["high"]),
+                    "successes": int(entry.get("successes", 0)),
+                    "trials": int(entry["trials"]),
+                    "half_width": (float(entry["high"]) - float(entry["low"])) / 2.0,
+                    "target": entry.get("target"),
+                    "met": bool(entry.get("met", False)),
+                }
+            )
+    return cells
+
+
+def add_precision_artifacts(
+    result: ExperimentResult,
+    cells: list[dict[str, Any]],
+    target: float | None,
+    confidence: float,
+) -> None:
+    """Attach per-cell CI quality to a sweep result (table + manifest block).
+
+    ``cells`` are precision rows (``n``, ``f``, ``point``, ``low``,
+    ``high``, ``trials``, ``half_width``, optional ``target``/``met``), one
+    per (N, f) grid cell.  Adds the ``mc_precision`` table — which
+    :meth:`ExperimentResult.write` turns into a CSV with ci_low/ci_high/
+    trials columns — and folds the cells plus the
+    :func:`~repro.obs.precision.precision_report` summary into
+    ``result.meta["precision"]``, which the runner copies into the run
+    manifest (``repro obs precision`` reads it back from there).
+    """
+    from repro.obs.precision import precision_report
+
+    if not cells:
+        return
+    report = precision_report(cells, target=target)
+    result.add_table(
+        "mc_precision",
+        ["n", "f", "p", "ci_low", "ci_high", "trials", "half_width", "met_target"],
+        [
+            [
+                c["n"],
+                c["f"],
+                float(c["point"]),
+                float(c["low"]),
+                float(c["high"]),
+                int(c["trials"]),
+                float(c["half_width"]),
+                bool(c.get("met", False)) if target is not None else "-",
+            ]
+            for c in sorted(cells, key=lambda c: (c["n"], c["f"]))
+        ],
+        caption=f"Per-cell Wilson intervals at {confidence:.3g} confidence",
+    )
+    block = {k: v for k, v in report.items() if k != "worst_cells"}
+    block["confidence"] = confidence
+    block["cells"] = cells
+    result.meta["precision"] = block
+    if target is not None:
+        result.note(
+            f"adaptive stopping: {report['met_target']}/{report['cells']} cells at "
+            f"target half-width {target:g}; {report['total_trials']:,} trials vs "
+            f"{report['fixed_equivalent_trials']:,} fixed-count equivalent "
+            f"({report['trials_saved_fraction']:.0%} saved)"
+        )
+
+
 def write_html_index(results: list["ExperimentResult"], out_dir: str | Path) -> Path:
     """Write one self-contained HTML page covering all results."""
     out_dir = Path(out_dir)

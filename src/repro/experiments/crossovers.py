@@ -20,17 +20,37 @@ from typing import Any
 import numpy as np
 
 from repro.analysis import crossover_n, simulate_grid, success_probability
-from repro.engine import ExperimentSpec, Job, JobPlan, curve_value, register, run_plan
-from repro.experiments.base import ExperimentResult
+from repro.engine import ExperimentSpec, Job, JobPlan, cell_point, register, run_plan
+from repro.experiments.base import (
+    ExperimentResult,
+    add_precision_artifacts,
+    collect_precision_cells,
+)
 
 PAPER_CROSSOVERS = {2: 18, 3: 32, 4: 45}
 
 F_VALUES = (2, 3, 4, 5, 6, 7, 8, 9, 10)
 
 
-def _mc_curve(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[str, float]:
-    """Engine job: sweep-kernel P[Success] at one N for every requested f."""
+def _mc_curve(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[str, Any]:
+    """Engine job: sweep-kernel P[Success] at one N for every requested f.
+
+    With a ``target_ci`` in the params the kernel stops each cell at that
+    Wilson half-width and the row carries full precision dicts instead of
+    bare floats (see :mod:`repro.experiments.figure2`).
+    """
     rng = np.random.default_rng(seed_seq)
+    target = params.get("target_ci")
+    if target is not None:
+        cells = simulate_grid(
+            params["n"],
+            tuple(params["fs"]),
+            params["iterations"],
+            rng,
+            target_half_width=target,
+            confidence=params.get("ci_confidence", 0.95),
+        )
+        return {str(f): cell.to_row() for f, cell in cells.items()}
     estimates = simulate_grid(params["n"], tuple(params["fs"]), params["iterations"], rng)
     return {str(f): p for f, p in estimates.items()}
 
@@ -40,6 +60,8 @@ def build_plan(
     threshold: float = 0.99,
     mc_iterations: int = 0,
     seed: int = 2000,
+    target_ci: float | None = None,
+    ci_confidence: float = 0.95,
 ) -> JobPlan:
     """Analytic crossovers, plus one curve-level MC job per probed N.
 
@@ -54,13 +76,11 @@ def build_plan(
     if mc_iterations > 0:
         for n in range(n_lo, n_hi + 1):
             fs = [f for f in f_values if n >= max(2, f + 1)]
-            jobs.append(
-                Job(
-                    name=f"mc/n={n}",
-                    fn=_mc_curve,
-                    params={"n": n, "fs": fs, "iterations": mc_iterations},
-                )
-            )
+            params: dict[str, Any] = {"n": n, "fs": fs, "iterations": mc_iterations}
+            if target_ci is not None:
+                params["target_ci"] = target_ci
+                params["ci_confidence"] = ci_confidence
+            jobs.append(Job(name=f"mc/n={n}", fn=_mc_curve, params=params))
 
     def reduce(values: dict[str, Any]) -> ExperimentResult:
         result = ExperimentResult("crossovers")
@@ -70,6 +90,9 @@ def build_plan(
             "threshold": threshold,
             "mc_iterations": mc_iterations,
         }
+        if target_ci is not None:
+            result.meta["target_ci"] = target_ci
+            result.meta["ci_confidence"] = ci_confidence
         rows = []
         for f in f_values:
             n_star = n_stars[f]
@@ -96,7 +119,7 @@ def build_plan(
             for f in f_values:
                 mc_star = None
                 for n in range(max(2, f + 1), n_hi + 1):
-                    estimate = curve_value(values, f"mc/n={n}", str(f))
+                    estimate = cell_point(values, f"mc/n={n}", str(f))
                     if estimate > threshold:  # NaN (quarantined) compares False
                         mc_star = n
                         break
@@ -112,6 +135,9 @@ def build_plan(
             result.note(
                 "simulated crossovers share per-N draws across f (common random "
                 "numbers), so they are monotone in f by construction"
+            )
+            add_precision_artifacts(
+                result, collect_precision_cells(values), target_ci, ci_confidence
             )
         return result
 
@@ -129,6 +155,8 @@ def run(
     threshold: float = 0.99,
     mc_iterations: int = 0,
     seed: int = 2000,
+    target_ci: float | None = None,
+    ci_confidence: float = 0.95,
     executor: Any | None = None,
     checkpoint: Any | None = None,
 ) -> ExperimentResult:
@@ -136,10 +164,17 @@ def run(
 
     ``mc_iterations > 0`` adds the sweep-kernel validation table (one
     curve-level job per probed N); the analytic table is always computed in
-    the reduction.
+    the reduction.  ``target_ci`` makes the validation adaptive (every
+    cell stops at that Wilson half-width) and adds the ``mc_precision``
+    table plus a manifest precision block.
     """
     plan = build_plan(
-        f_values=f_values, threshold=threshold, mc_iterations=mc_iterations, seed=seed
+        f_values=f_values,
+        threshold=threshold,
+        mc_iterations=mc_iterations,
+        seed=seed,
+        target_ci=target_ci,
+        ci_confidence=ci_confidence,
     )
     return run_plan(plan, executor, checkpoint=checkpoint)
 

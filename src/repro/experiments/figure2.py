@@ -25,19 +25,37 @@ from typing import Any
 import numpy as np
 
 from repro.analysis import simulate_grid, success_curve
-from repro.engine import ExperimentSpec, Job, JobPlan, curve_value, register, run_plan
-from repro.experiments.base import ExperimentResult
+from repro.engine import ExperimentSpec, Job, JobPlan, cell_point, register, run_plan
+from repro.experiments.base import (
+    ExperimentResult,
+    add_precision_artifacts,
+    collect_precision_cells,
+)
 
 F_VALUES = tuple(range(2, 11))
 
 
-def _mc_curve(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[str, float]:
+def _mc_curve(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[str, Any]:
     """Engine job: Monte Carlo P[Success] at one N for every requested f.
 
-    Returns a string-keyed row (``{"f": estimate}``) so the value
-    round-trips exactly through the checkpoint codec.
+    Returns a string-keyed row so the value round-trips exactly through the
+    checkpoint codec: ``{"f": estimate}`` floats for fixed-count runs, or
+    full per-cell precision dicts (point, Wilson bounds, trials) when the
+    plan carries a ``target_ci`` — the adaptive-stopping kernel then runs
+    each cell only until its interval is tight enough.
     """
     rng = np.random.default_rng(seed_seq)
+    target = params.get("target_ci")
+    if target is not None:
+        cells = simulate_grid(
+            params["n"],
+            tuple(params["fs"]),
+            params["iterations"],
+            rng,
+            target_half_width=target,
+            confidence=params.get("ci_confidence", 0.95),
+        )
+        return {str(f): cell.to_row() for f, cell in cells.items()}
     estimates = simulate_grid(params["n"], tuple(params["fs"]), params["iterations"], rng)
     return {str(f): p for f, p in estimates.items()}
 
@@ -47,23 +65,25 @@ def build_plan(
     n_max: int = 63,
     mc_iterations: int = 0,
     seed: int = 2000,
+    target_ci: float | None = None,
+    ci_confidence: float = 0.95,
 ) -> JobPlan:
     """Decompose Figure 2 into one curve-level Monte Carlo job per N.
 
     The Equation-1 curves are closed-form and cheap; they are computed in
-    the reduction rather than shipped as jobs.
+    the reduction rather than shipped as jobs.  With ``target_ci``, each
+    job samples adaptively: ``mc_iterations`` becomes the first-batch
+    floor and every (N, f) cell stops at that Wilson half-width.
     """
     jobs = []
     if mc_iterations > 0:
         for n in range(max(2, min(f_values) + 1), n_max + 1):
             fs = [f for f in f_values if n >= max(2, f + 1)]
-            jobs.append(
-                Job(
-                    name=f"mc/n={n}",
-                    fn=_mc_curve,
-                    params={"n": n, "fs": fs, "iterations": mc_iterations},
-                )
-            )
+            params: dict[str, Any] = {"n": n, "fs": fs, "iterations": mc_iterations}
+            if target_ci is not None:
+                params["target_ci"] = target_ci
+                params["ci_confidence"] = ci_confidence
+            jobs.append(Job(name=f"mc/n={n}", fn=_mc_curve, params=params))
 
     def reduce(values: dict[str, Any]) -> ExperimentResult:
         result = ExperimentResult("figure2")
@@ -73,6 +93,9 @@ def build_plan(
             "n_max": n_max,
             "mc_iterations": mc_iterations,
         }
+        if target_ci is not None:
+            result.meta["target_ci"] = target_ci
+            result.meta["ci_confidence"] = ci_confidence
         curves: dict[str, tuple] = {}
         for f in f_values:
             ns, ps = success_curve(f, n_max=n_max)
@@ -89,14 +112,19 @@ def build_plan(
             for f in f_values:
                 ns = np.arange(max(2, f + 1), n_max + 1)
                 # quarantined jobs are absent: their points plot as NaN gaps
-                ps = np.array([curve_value(values, f"mc/n={n}", str(f)) for n in ns])
+                ps = np.array([cell_point(values, f"mc/n={n}", str(f)) for n in ns])
                 mc_curves[f"sim f={f}"] = (ns, ps)
             result.add_series(
                 "montecarlo",
                 mc_curves,
-                caption=f"Figure 2 overlay: Monte Carlo, {mc_iterations} iterations",
+                caption=f"Figure 2 overlay: Monte Carlo, {mc_iterations} iterations"
+                if target_ci is None
+                else f"Figure 2 overlay: Monte Carlo, adaptive to ±{target_ci:g}",
                 x_label="nodes",
                 y_label="P[Success]",
+            )
+            add_precision_artifacts(
+                result, collect_precision_cells(values), target_ci, ci_confidence
             )
         # summary rows the paper quotes in prose
         rows = []
@@ -127,17 +155,29 @@ def run(
     n_max: int = 63,
     mc_iterations: int = 0,
     seed: int = 2000,
+    target_ci: float | None = None,
+    ci_confidence: float = 0.95,
     executor: Any | None = None,
     checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """Regenerate Figure 2.
 
     ``mc_iterations > 0`` adds a Monte Carlo overlay series per f (the
-    paper's simulation points).  ``executor`` selects the engine backend
-    (default serial); results are executor-independent.  ``checkpoint``
-    streams completed jobs for crash-safe ``--resume``.
+    paper's simulation points).  ``target_ci`` switches the overlay to
+    adaptive stopping — every cell samples until its Wilson half-width at
+    ``ci_confidence`` reaches the target — and adds the ``mc_precision``
+    table plus a manifest precision block.  ``executor`` selects the engine
+    backend (default serial); results are executor-independent.
+    ``checkpoint`` streams completed jobs for crash-safe ``--resume``.
     """
-    plan = build_plan(f_values=f_values, n_max=n_max, mc_iterations=mc_iterations, seed=seed)
+    plan = build_plan(
+        f_values=f_values,
+        n_max=n_max,
+        mc_iterations=mc_iterations,
+        seed=seed,
+        target_ci=target_ci,
+        ci_confidence=ci_confidence,
+    )
     return run_plan(plan, executor, checkpoint=checkpoint)
 
 

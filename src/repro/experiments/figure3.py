@@ -40,12 +40,28 @@ def _mad_column(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dic
     ``mean_absolute_deviation_grid`` spawns per-N children from an integer
     seed; fingerprint this job's spawned sequence to stay inside that
     contract.  Returns a string-keyed row for the checkpoint codec.
+
+    With a ``target_ci`` the column's iteration count becomes a *budget*
+    instead of an exact spend: each (N, f) cell starts at an eighth of the
+    budget and stops early once its Wilson half-width reaches the target,
+    so large columns stop paying for precision past the requested one.
     """
+    iters = params["iterations"]
+    target = params.get("target_ci")
+    adaptive: dict[str, Any] = {}
+    if target is not None:
+        adaptive = {
+            "target_half_width": target,
+            "confidence": params.get("ci_confidence", 0.95),
+            "max_iterations": iters,
+        }
+        iters = max(1, iters // 8)
     mads = mean_absolute_deviation_grid(
         tuple(params["fs"]),
-        params["iterations"],
+        iters,
         n_max=params["n_max"],
         seed=seed_fingerprint(seed_seq),
+        **adaptive,
     )
     return {str(f): mad for f, mad in mads.items()}
 
@@ -55,13 +71,18 @@ def build_plan(
     iteration_grid: tuple[int, ...] = ITERATION_GRID,
     n_max: int = 63,
     seed: int = 2000,
+    target_ci: float | None = None,
+    ci_confidence: float = 0.95,
 ) -> JobPlan:
     """One curve-family job per iteration count (all f evaluated in-kernel)."""
+    extra: dict[str, Any] = {}
+    if target_ci is not None:
+        extra = {"target_ci": target_ci, "ci_confidence": ci_confidence}
     jobs = [
         Job(
             name=f"mad/iters={iters}",
             fn=_mad_column,
-            params={"fs": list(f_values), "iterations": iters, "n_max": n_max},
+            params={"fs": list(f_values), "iterations": iters, "n_max": n_max, **extra},
         )
         for iters in iteration_grid
     ]
@@ -84,6 +105,9 @@ def build_plan(
             "iteration_grid": list(iteration_grid),
             "n_max": n_max,
         }
+        if target_ci is not None:
+            result.meta["target_ci"] = target_ci
+            result.meta["ci_confidence"] = ci_confidence
         curves = {
             f"f={f}": (np.array(iteration_grid, dtype=float), study.series(f))
             for f in f_values
@@ -132,11 +156,25 @@ def run(
     iteration_grid: tuple[int, ...] = ITERATION_GRID,
     n_max: int = 63,
     seed: int = 2000,
+    target_ci: float | None = None,
+    ci_confidence: float = 0.95,
     executor: Any | None = None,
     checkpoint: Any | None = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 3 (executor-independent for a given seed)."""
-    plan = build_plan(f_values=f_values, iteration_grid=iteration_grid, n_max=n_max, seed=seed)
+    """Regenerate Figure 3 (executor-independent for a given seed).
+
+    ``target_ci`` turns each column's iteration count into an adaptive
+    budget: cells stop sampling early once their Wilson half-width at
+    ``ci_confidence`` reaches the target (see :func:`_mad_column`).
+    """
+    plan = build_plan(
+        f_values=f_values,
+        iteration_grid=iteration_grid,
+        n_max=n_max,
+        seed=seed,
+        target_ci=target_ci,
+        ci_confidence=ci_confidence,
+    )
     return run_plan(plan, executor, checkpoint=checkpoint)
 
 

@@ -8,6 +8,8 @@ Usage::
     drs-experiments --quick --jobs 4     # sweeps fan out over 4 processes
     drs-experiments --out /tmp/results
     drs-experiments --resume results     # pick up an interrupted run
+    drs-experiments --quick --target-ci 0.01   # adaptive: stop each MC cell
+                                               # at Wilson half-width 0.01
 
 The experiments come from the declarative registry in :mod:`repro.engine`:
 each :mod:`repro.experiments.*` module registers an
@@ -61,7 +63,17 @@ from repro.obs.progress import ProgressReporter, set_heartbeat
 #: Fields of the original invocation that ``--resume`` must replay to
 #: reproduce the same plans, seeds, and policy (``--jobs`` is deliberately
 #: absent: worker count is machine-local and never affects values).
-RUN_STATE_FIELDS = ("names", "quick", "seed", "retries", "job_timeout", "fail_fast", "no_checkpoint")
+RUN_STATE_FIELDS = (
+    "names",
+    "quick",
+    "seed",
+    "retries",
+    "job_timeout",
+    "fail_fast",
+    "no_checkpoint",
+    "target_ci",
+    "ci_confidence",
+)
 
 RUN_STATE_VERSION = 1
 
@@ -104,6 +116,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="SEED",
         help="override every seed-taking experiment's root seed",
+    )
+    parser.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="W",
+        help="adaptive stopping: run each Monte Carlo cell until its Wilson CI "
+        "half-width reaches W (experiments that support it)",
+    )
+    parser.add_argument(
+        "--ci-confidence",
+        type=float,
+        default=0.95,
+        metavar="C",
+        help="confidence level for --target-ci intervals (default 0.95)",
     )
     parser.add_argument(
         "--retries",
@@ -157,6 +184,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.target_ci is not None and args.target_ci <= 0:
+        parser.error(f"--target-ci must be positive, got {args.target_ci}")
+    if not 0.0 < args.ci_confidence < 1.0:
+        parser.error(f"--ci-confidence must be in (0, 1), got {args.ci_confidence}")
     if args.job_timeout is not None and args.job_timeout <= 0:
         parser.error(f"--job-timeout must be positive, got {args.job_timeout}")
 
@@ -208,6 +239,10 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = spec.kwargs(profile)
         if args.seed is not None and spec.accepts_seed:
             kwargs["seed"] = args.seed
+        if args.target_ci is not None and spec.accepts("target_ci"):
+            kwargs["target_ci"] = args.target_ci
+            if spec.accepts("ci_confidence"):
+                kwargs["ci_confidence"] = args.ci_confidence
         if spec.parallel:
             kwargs["executor"] = executor
             if not args.no_checkpoint:

@@ -28,8 +28,12 @@ into:
   JSONL sink.
 * :mod:`repro.obs.watch` — live ANSI dashboard (``repro obs watch``)
   folding a flight stream into per-worker run state.
+* :mod:`repro.obs.precision` — statistical observability: per-cell Wilson
+  CI records (``stats.cell`` flight events), adaptive-stopping bookkeeping,
+  and the ``repro obs precision`` sweep-quality report.
 * :mod:`repro.obs.cli` — the ``repro obs`` pretty-printer plus the
-  ``export-trace``, ``postmortem``, ``watch``, and ``bench-diff`` verbs.
+  ``export-trace``, ``postmortem``, ``watch``, ``bench-diff``, and
+  ``precision`` verbs.
 * :mod:`repro.obs.compat` — deprecation shims for the legacy primitives.
 """
 
@@ -77,6 +81,15 @@ from repro.obs.profiler import (
     publish_mc_throughput,
     publish_profile,
     uninstall_profiling,
+)
+from repro.obs.precision import (
+    STATS_CELL_KIND,
+    CellPrecision,
+    cells_from_manifest,
+    fold_cells,
+    precision_report,
+    publish_cell_precision,
+    render_precision_report,
 )
 from repro.obs.progress import ProgressReporter, heartbeat, set_heartbeat
 from repro.obs.watch import WatchState, render_watch
@@ -145,4 +158,11 @@ __all__ = [
     "WatchState",
     "render_watch",
     "follow_flight",
+    "STATS_CELL_KIND",
+    "CellPrecision",
+    "publish_cell_precision",
+    "fold_cells",
+    "cells_from_manifest",
+    "precision_report",
+    "render_precision_report",
 ]

@@ -28,6 +28,10 @@ machine-readable JSON document.  Four verbs:
   while (or after) an engine run writes it.
 * ``bench-diff`` — CI-width-aware deltas between committed ``BENCH_*.json``
   snapshots; exits nonzero on regression (the CI perf gate).
+* ``precision`` — sweep-quality report over a run's per-cell Wilson
+  intervals: worst cells, per-f target attainment, and trials saved versus
+  a fixed-count run.  Reads ``stats.cell`` events from a ``*.flight.jsonl``
+  stream or the precision block of a ``*.manifest.json``.
 """
 
 from __future__ import annotations
@@ -405,6 +409,56 @@ def _cmd_bench_diff(argv: list[str]) -> int:
     return BENCH_DIFF_EXIT_REGRESSION if any(d.regressed for d in deltas) else 0
 
 
+def _cmd_precision(argv: list[str]) -> int:
+    from repro.obs.precision import (
+        cells_from_manifest,
+        fold_cells,
+        precision_report,
+        render_precision_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs precision",
+        description="Sweep-quality report: per-cell Wilson CI widths, worst cells, "
+        "and trials saved vs a fixed-count run.",
+    )
+    parser.add_argument(
+        "source",
+        help="a *.flight.jsonl stream (stats.cell events) or a *.manifest.json "
+        "run manifest (recorded precision block)",
+    )
+    parser.add_argument("--target", type=float, default=None, metavar="W",
+                        help="judge cells against this half-width instead of the recorded target")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="how many worst cells to list (default: 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report instead of tables")
+    args = parser.parse_args(argv)
+
+    source = Path(args.source)
+    if source.name.endswith(".flight.jsonl"):
+        from repro.obs.flightrecorder import read_flight_events
+
+        cells = list(fold_cells(read_flight_events(source)).values())
+    elif source.name.endswith(".manifest.json"):
+        cells, _ = cells_from_manifest(load_manifest(source).to_dict())
+    else:
+        print(
+            f"error: {source}: expected a *.flight.jsonl or *.manifest.json artifact",
+            file=sys.stderr,
+        )
+        return 1
+    if not cells:
+        print(f"error: {source}: no per-cell precision data recorded", file=sys.stderr)
+        return 1
+    report = precision_report(cells, target=args.target, top=args.top)
+    if args.json:
+        print(json.dumps({"source": str(source), **report}, indent=2))
+    else:
+        print(render_precision_report(report, source=source.name))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     if argv is None:
@@ -417,6 +471,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_watch(argv[1:])
     if argv and argv[0] == "bench-diff":
         return _cmd_bench_diff(argv[1:])
+    if argv and argv[0] == "precision":
+        return _cmd_precision(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro obs",
         description="Pretty-print run manifests, metrics snapshots, and trace dumps.",

@@ -25,6 +25,7 @@ kind                      emitted when
 ``scheduler.gauge``       queue depth / in-flight / utilization sample
 ``checkpoint.write``      one job record persisted to the checkpoint stream
 ``heartbeat``             a :class:`~repro.obs.progress.ProgressReporter` beat
+``stats.cell``            a Monte Carlo (N, f) cell's precision snapshot
 ``run.end``               the recorder closed (carries the event tally)
 ========================  ====================================================
 
@@ -94,6 +95,7 @@ EVENT_KINDS = frozenset(
         "scheduler.gauge",
         "checkpoint.write",
         "heartbeat",
+        "stats.cell",
         "run.end",
     }
 )

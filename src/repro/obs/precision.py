@@ -1,0 +1,342 @@
+"""Statistical observability: per-cell precision of Monte Carlo estimates.
+
+A finished sweep used to report point values with no visibility into *how
+good* each (N, f) cell's estimate is: CI widths, sampling efficiency, and
+convergence behavior were invisible, and iteration counts were fixed
+guesses.  This module makes estimator quality a first-class, recorded, and
+steerable signal:
+
+* :class:`CellPrecision` — one (N, f) cell's quality record: successes,
+  trials, the Wilson interval at a configurable confidence, relative
+  half-width, throughput, and sampling efficiency against the
+  binomial-variance floor.
+* ``stats.cell`` flight events — the Monte Carlo estimators
+  (:func:`repro.analysis.montecarlo.simulate_grid` and the per-point
+  estimator) publish one event per cell per sampling batch through the
+  engine flight recorder (:func:`publish_cell_precision`), so ``repro obs
+  watch`` gains a live precision panel and the Perfetto export gains a
+  CI-width counter track.
+* Sweep-quality reports — :func:`fold_cells` reduces a flight stream (or
+  manifest summary) to the latest state per cell, and
+  :func:`precision_report` / :func:`render_precision_report` turn that
+  into the ``repro obs precision`` verb's output: worst cells, per-f
+  target attainment, and trials saved versus a fixed-count run.
+
+Trials accounting assumes the common-random-numbers sweep kernel: every
+cell at one N shares a single sampling pass, so a row's sampling cost is
+the *maximum* trial count over its cells, not the sum (see
+docs/model.md §10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+#: flight-event kind carrying one cell's precision snapshot
+STATS_CELL_KIND = "stats.cell"
+
+
+@dataclass(frozen=True)
+class CellPrecision:
+    """Precision record for one (N, f) Monte Carlo cell.
+
+    ``target_half_width`` is the adaptive-stopping goal the cell ran
+    under (``None`` for fixed-count runs); ``elapsed_s`` is the sampling
+    wall time attributed to the cell's row so far.
+    """
+
+    n: int
+    f: int
+    successes: int
+    trials: int
+    confidence: float
+    point: float
+    low: float
+    high: float
+    target_half_width: float | None = None
+    elapsed_s: float = 0.0
+
+    @classmethod
+    def from_counts(
+        cls,
+        n: int,
+        f: int,
+        successes: int,
+        trials: int,
+        confidence: float = 0.95,
+        target_half_width: float | None = None,
+        elapsed_s: float = 0.0,
+    ) -> "CellPrecision":
+        """Build the record (Wilson interval included) from raw counts."""
+        from repro.analysis.stats import wilson_interval  # no cycle at module load
+
+        est = wilson_interval(successes, trials, confidence)
+        return cls(
+            n=n,
+            f=f,
+            successes=successes,
+            trials=trials,
+            confidence=confidence,
+            point=est.point,
+            low=est.low,
+            high=est.high,
+            target_half_width=target_half_width,
+            elapsed_s=elapsed_s,
+        )
+
+    # --------------------------------------------------------------- derived
+    @property
+    def half_width(self) -> float:
+        """Half the Wilson interval width — the precision actually achieved."""
+        return (self.high - self.low) / 2.0
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the point estimate (inf at p = 0)."""
+        return self.half_width / self.point if self.point > 0 else float("inf")
+
+    @property
+    def trials_per_second(self) -> float:
+        """Sampling throughput attributed to this cell's row."""
+        return self.trials / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Trial-budget efficiency against the binomial-variance floor.
+
+        An ideal estimator at the binomial variance floor needs
+        ``z² p̂(1-p̂) / half_width²`` trials for this cell's achieved
+        half-width; efficiency is that floor divided by the trials
+        actually spent, in [0, 1].  Degenerate cells (p̂ at 0 or 1, where
+        the Wilson width is driven by the z²/trials continuity term, not
+        the variance) read as 0 — by design: their width cannot be bought
+        down by better sampling, only by more trials.
+        """
+        hw = self.half_width
+        if hw <= 0 or self.trials <= 0:
+            return 0.0
+        from repro.analysis.stats import _z_for
+
+        z = _z_for(self.confidence)
+        floor = z * z * self.point * (1.0 - self.point) / (hw * hw)
+        return min(1.0, floor / self.trials)
+
+    @property
+    def met_target(self) -> bool:
+        """Whether the achieved half-width is at or below the target."""
+        return self.target_half_width is not None and self.half_width <= self.target_half_width
+
+    # ------------------------------------------------------------- transport
+    def to_row(self) -> dict[str, Any]:
+        """JSON-round-trippable form (checkpoint codec / manifest payload)."""
+        row: dict[str, Any] = {
+            "p": self.point,
+            "low": self.low,
+            "high": self.high,
+            "successes": self.successes,
+            "trials": self.trials,
+            "confidence": self.confidence,
+        }
+        if self.target_half_width is not None:
+            row["target"] = self.target_half_width
+            row["met"] = self.met_target
+        return row
+
+    def event_fields(self, done: bool = False) -> dict[str, Any]:
+        """The ``stats.cell`` flight-event payload for this cell."""
+        fields: dict[str, Any] = {
+            "n": self.n,
+            "f": self.f,
+            "successes": self.successes,
+            "trials": self.trials,
+            "confidence": self.confidence,
+            "point": round(self.point, 8),
+            "half_width": round(self.half_width, 8),
+            "done": done,
+        }
+        if self.target_half_width is not None:
+            fields["target"] = self.target_half_width
+            fields["met"] = self.met_target
+        return fields
+
+
+def publish_cell_precision(cell: CellPrecision, done: bool = False) -> None:
+    """Emit one ``stats.cell`` event on the current flight recorder.
+
+    ``done=True`` marks the cell's final snapshot (it will receive no more
+    trials — it met its target, or the run's budget is exhausted).  One
+    global lookup plus a ``None`` check when recording is off, matching
+    the metrics/heartbeat hot-path pattern.
+    """
+    from repro.obs.flightrecorder import flight_recorder
+
+    recorder = flight_recorder()
+    if recorder is None:
+        return
+    recorder.emit(STATS_CELL_KIND, **cell.event_fields(done=done))
+
+
+# ----------------------------------------------------------------- reduction
+def fold_cells(events: Iterable[Mapping[str, Any]]) -> dict[tuple[int, int], dict[str, Any]]:
+    """Latest ``stats.cell`` state per (n, f) cell from a flight stream.
+
+    Batch-progress events for one cell supersede each other; the returned
+    dict holds each cell's most recent snapshot (the ``done`` one, for a
+    completed run).  Non-``stats.cell`` events are ignored, so the whole
+    stream can be passed as-is.
+    """
+    cells: dict[tuple[int, int], dict[str, Any]] = {}
+    for event in events:
+        if event.get("kind") != STATS_CELL_KIND:
+            continue
+        key = (int(event.get("n", -1)), int(event.get("f", -1)))
+        cells[key] = {
+            "n": key[0],
+            "f": key[1],
+            "successes": int(event.get("successes", 0)),
+            "trials": int(event.get("trials", 0)),
+            "confidence": float(event.get("confidence", 0.95)),
+            "point": float(event.get("point", 0.0)),
+            "half_width": float(event.get("half_width", 0.0)),
+            "target": event.get("target"),
+            "met": bool(event.get("met", False)),
+            "done": bool(event.get("done", False)),
+        }
+    return cells
+
+
+def cells_from_manifest(manifest: Mapping[str, Any]) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Per-cell rows plus the summary block recorded in a run manifest.
+
+    Experiments running with a CI target fold a ``precision`` section into
+    their result meta, which the runner copies into the manifest config;
+    this digs it out of either a raw manifest dict or a
+    :meth:`~repro.obs.artifacts.RunManifest.to_dict` payload.
+    """
+    config = manifest.get("config")
+    section = None
+    if isinstance(config, Mapping):
+        section = config.get("precision")
+    if section is None:
+        section = manifest.get("precision")
+    if not isinstance(section, Mapping):
+        return [], {}
+    cells = [dict(cell) for cell in section.get("cells", [])]
+    summary = {k: v for k, v in section.items() if k != "cells"}
+    return cells, summary
+
+
+def precision_report(
+    cells: Iterable[Mapping[str, Any]],
+    target: float | None = None,
+    top: int = 10,
+) -> dict[str, Any]:
+    """Sweep-quality report over per-cell precision rows.
+
+    ``cells`` rows need ``n``, ``f``, ``trials``, and ``half_width`` (the
+    shapes produced by :func:`fold_cells` and :func:`cells_from_manifest`
+    both qualify); ``target`` overrides the per-cell recorded target when
+    given.  The fixed-count baseline is the run every cell would need at a
+    single shared iteration count to match the worst cell's precision:
+    (number of N rows) × (largest per-row trial count).  Under the CRN
+    kernel a row's sampling cost is the max over its cells, so
+    ``total_trials`` sums per-row maxima — not per-cell trials, which
+    would double-count shared draws.
+    """
+    rows = [dict(c) for c in cells]
+    if target is None:
+        targets = {c.get("target") for c in rows if c.get("target") is not None}
+        target = max(targets) if targets else None
+    for c in rows:
+        if target is not None:
+            c["met"] = c.get("half_width", float("inf")) <= target
+    by_n: dict[int, int] = {}
+    for c in rows:
+        n = int(c.get("n", -1))
+        by_n[n] = max(by_n.get(n, 0), int(c.get("trials", 0)))
+    total_trials = sum(by_n.values())
+    fixed_trials = len(by_n) * max(by_n.values(), default=0)
+    saved = fixed_trials - total_trials
+    worst = sorted(rows, key=lambda c: -float(c.get("half_width", 0.0)))
+    per_f: dict[int, dict[str, Any]] = {}
+    for c in sorted(rows, key=lambda c: (int(c.get("f", -1)), int(c.get("n", -1)))):
+        f = int(c.get("f", -1))
+        stats = per_f.setdefault(
+            f, {"f": f, "cells": 0, "met": 0, "worst_half_width": 0.0, "trials": 0}
+        )
+        stats["cells"] += 1
+        stats["met"] += bool(c.get("met", False))
+        stats["worst_half_width"] = max(stats["worst_half_width"], float(c.get("half_width", 0.0)))
+        stats["trials"] += int(c.get("trials", 0))
+    return {
+        "cells": len(rows),
+        "met_target": sum(bool(c.get("met", False)) for c in rows),
+        "target_half_width": target,
+        "worst_half_width": float(worst[0]["half_width"]) if worst else 0.0,
+        "worst_cells": [
+            {
+                "n": int(c.get("n", -1)),
+                "f": int(c.get("f", -1)),
+                "point": float(c.get("point", 0.0)),
+                "half_width": float(c.get("half_width", 0.0)),
+                "trials": int(c.get("trials", 0)),
+                "met": bool(c.get("met", False)),
+            }
+            for c in worst[: max(0, top)]
+        ],
+        "per_f": [per_f[f] for f in sorted(per_f)],
+        "total_trials": total_trials,
+        "fixed_equivalent_trials": fixed_trials,
+        "trials_saved": saved,
+        "trials_saved_fraction": saved / fixed_trials if fixed_trials else 0.0,
+        "rows": len(by_n),
+    }
+
+
+def render_precision_report(report: Mapping[str, Any], source: str = "") -> str:
+    """Pretty tables for one :func:`precision_report` payload."""
+    from repro.viz import render_table
+
+    target = report.get("target_half_width")
+    title = f"sweep quality: {source}" if source else "sweep quality"
+    summary_rows = [
+        ["cells", report.get("cells", 0)],
+        ["at target", f"{report.get('met_target', 0)}/{report.get('cells', 0)}"
+         if target is not None else "-"],
+        ["target half-width", f"{target:.6g}" if target is not None else "-"],
+        ["worst half-width", f"{report.get('worst_half_width', 0.0):.6g}"],
+        ["total trials", f"{report.get('total_trials', 0):,}"],
+        ["fixed-count equivalent", f"{report.get('fixed_equivalent_trials', 0):,}"],
+        ["trials saved", f"{report.get('trials_saved', 0):,} "
+         f"({report.get('trials_saved_fraction', 0.0):.0%})"],
+    ]
+    parts = [render_table(["field", "value"], summary_rows, title=title)]
+    worst = report.get("worst_cells", [])
+    if worst:
+        parts.append(
+            render_table(
+                ["n", "f", "P[S]", "half-width", "trials", "at target"],
+                [
+                    [c["n"], c["f"], f"{c['point']:.6f}", f"{c['half_width']:.6g}",
+                     c["trials"], "yes" if c["met"] else ("no" if target is not None else "-")]
+                    for c in worst
+                ],
+                title="worst cells (widest Wilson interval first)",
+            )
+        )
+    per_f = report.get("per_f", [])
+    if per_f:
+        parts.append(
+            render_table(
+                ["f", "cells", "at target", "worst half-width", "cell trials"],
+                [
+                    [s["f"], s["cells"],
+                     f"{s['met']}/{s['cells']}" if target is not None else "-",
+                     f"{s['worst_half_width']:.6g}", f"{s['trials']:,}"]
+                    for s in per_f
+                ],
+                title="target attainment by failure count",
+            )
+        )
+    return "\n\n".join(parts)

@@ -466,7 +466,10 @@ def flight_to_chrome_trace(events: Iterable[Mapping[str, Any]]) -> dict[str, Any
       writes, pool respawns, and worker spawn/exit;
     * counter (``ph: "C"``) tracks on the scheduler process fed by
       ``scheduler.gauge`` samples — queue depth and pool utilization over
-      wall time.
+      wall time — plus a ``ci half-width`` counter fed by ``stats.cell``
+      precision snapshots: the worst current Wilson half-width over the
+      latest state of every Monte Carlo cell, so convergence to the
+      adaptive-stopping target is visible as a decaying staircase.
 
     Timestamps are microseconds since the first event (Perfetto needs
     non-negative ``ts``); wall-clock ordering across workers is preserved
@@ -492,6 +495,8 @@ def flight_to_chrome_trace(events: Iterable[Mapping[str, Any]]) -> dict[str, Any
         return os_pid
 
     out: list[dict[str, Any]] = []
+    #: latest Wilson half-width per (n, f) cell, for the running-worst counter
+    cell_widths: dict[tuple[int, int], float] = {}
     for event in events:
         kind = str(event.get("kind", "?"))
         ts = max(0.0, (float(event.get("t", t0)) - t0) * 1e6)
@@ -536,6 +541,20 @@ def flight_to_chrome_trace(events: Iterable[Mapping[str, Any]]) -> dict[str, Any
                     "pid": _SCHEDULER_PID,
                     "tid": _EVENTS_TID,
                     "args": {"busy_fraction": float(event.get("utilization", 0.0))},
+                }
+            )
+        elif kind == "stats.cell":
+            key = (int(event.get("n", -1)), int(event.get("f", -1)))
+            cell_widths[key] = float(event.get("half_width", 0.0))
+            pids.setdefault(_SCHEDULER_PID, "scheduler")
+            out.append(
+                {
+                    "name": "ci half-width",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": _SCHEDULER_PID,
+                    "tid": _EVENTS_TID,
+                    "args": {"worst": max(cell_widths.values())},
                 }
             )
         elif kind in FLIGHT_INSTANT_KINDS or kind in FLIGHT_SCHEDULER_INSTANTS:

@@ -85,6 +85,8 @@ class WatchState:
     events: int = 0
     finished: bool = False
     workers: dict[int, WorkerView] = field(default_factory=dict)
+    #: latest ``stats.cell`` snapshot per (n, f) Monte Carlo cell
+    cells: dict[tuple[int, int], dict[str, Any]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ fold
     def apply(self, event: Mapping[str, Any]) -> None:
@@ -144,6 +146,15 @@ class WatchState:
             self.trials_per_second = float(event.get("trials_per_second", 0.0))
             if event.get("total"):
                 self.total_trials = int(event["total"])
+        elif kind == "stats.cell":
+            key = (int(event.get("n", -1)), int(event.get("f", -1)))
+            self.cells[key] = {
+                "trials": int(event.get("trials", 0)),
+                "half_width": float(event.get("half_width", 0.0)),
+                "target": event.get("target"),
+                "met": bool(event.get("met", False)),
+                "done": bool(event.get("done", False)),
+            }
         elif kind == "run.end":
             self.finished = True
 
@@ -172,6 +183,32 @@ class WatchState:
             return 0.0 if remaining <= 0 else None
         return remaining * self.elapsed_s / self.jobs_done
 
+    def precision_summary(self) -> dict[str, Any] | None:
+        """Aggregate of the live per-cell precision, or None before any cell.
+
+        ``worst`` is the cell with the widest current Wilson half-width —
+        the estimate holding the sweep's quality back; ``at_target`` counts
+        cells whose interval already meets the adaptive-stopping target
+        (only populated when the run carries one).
+        """
+        if not self.cells:
+            return None
+        worst_key = max(self.cells, key=lambda k: self.cells[k]["half_width"])
+        worst = self.cells[worst_key]
+        targets = [c["target"] for c in self.cells.values() if c.get("target") is not None]
+        return {
+            "cells": len(self.cells),
+            "done": sum(c["done"] for c in self.cells.values()),
+            "target": max(targets) if targets else None,
+            "at_target": sum(c["met"] for c in self.cells.values()) if targets else None,
+            "worst": {
+                "n": worst_key[0],
+                "f": worst_key[1],
+                "half_width": worst["half_width"],
+                "trials": worst["trials"],
+            },
+        }
+
     def to_dict(self) -> dict[str, Any]:
         """Machine-readable snapshot (the ``--json`` payload)."""
         return {
@@ -197,6 +234,7 @@ class WatchState:
             "trials_per_second": self.trials_per_second,
             "total_trials": self.total_trials,
             "eta_s": None if self.eta_s() is None else round(self.eta_s(), 1),
+            "precision": self.precision_summary(),
             "workers": {
                 str(pid): {
                     "state": w.state,
@@ -276,6 +314,22 @@ def render_watch(state: WatchState, color: bool = True) -> str:
     if state.utilization is not None:
         timing += f" · pool {state.utilization:4.0%} busy"
     lines.append((trials_line + " · " + timing) if trials_line else timing)
+
+    precision = state.precision_summary()
+    if precision is not None:
+        worst = precision["worst"]
+        ci_line = (
+            f"ci: {precision['cells']} cell(s), worst half-width "
+            f"{worst['half_width']:.2g} (n={worst['n']}, f={worst['f']}, "
+            f"{worst['trials']:,} trials)"
+        )
+        if precision["target"] is not None:
+            at = precision["at_target"]
+            badge = f"{at}/{precision['cells']} at target {precision['target']:g}"
+            ci_line += "  " + (
+                paint(badge, GREEN) if at == precision["cells"] else paint(badge, YELLOW)
+            )
+        lines.append(ci_line)
 
     for pid, worker in sorted(state.workers.items()):
         if worker.state == "running":

@@ -46,8 +46,10 @@ def test_wilson_999_confidence_is_supported():
     assert estimate.low < 0.5 < estimate.high
     # tighter confidence -> wider interval
     assert estimate.half_width > wilson_interval(500, 1000, confidence=0.95).half_width
+    # arbitrary levels resolve through the inverse-normal fallback now
+    assert wilson_interval(500, 1000, confidence=0.42).half_width < estimate.half_width
     with pytest.raises(ValueError, match="confidence"):
-        wilson_interval(500, 1000, confidence=0.42)
+        wilson_interval(500, 1000, confidence=1.0)
 
 
 @pytest.mark.parametrize("f,df", [(2, 14), (3, 19)])

@@ -6,9 +6,11 @@ import pytest
 from repro.analysis import (
     estimate_to_precision,
     mc_success_estimate,
+    normal_ppf,
     success_probability,
     wilson_interval,
 )
+from repro.analysis.stats import _Z_TABLE, _z_for
 
 
 def test_wilson_basic_properties():
@@ -36,8 +38,49 @@ def test_wilson_confidence_levels():
     n90 = wilson_interval(50, 100, confidence=0.90)
     n99 = wilson_interval(50, 100, confidence=0.99)
     assert n99.half_width > n90.half_width
+
+
+def test_wilson_arbitrary_confidence_no_longer_raises():
+    # the z table used to be the only source; 0.42 was a ValueError
+    n42 = wilson_interval(50, 100, confidence=0.42)
+    n95 = wilson_interval(50, 100, confidence=0.95)
+    assert 0 < n42.half_width < n95.half_width
+
+
+def test_normal_ppf_matches_known_quantiles():
+    # published two-sided z values at the classic confidence levels
+    known = {0.975: 1.959964, 0.95: 1.644854, 0.995: 2.575829, 0.9995: 3.290527}
+    for p, z in known.items():
+        assert normal_ppf(p) == pytest.approx(z, abs=5e-6)
+    # symmetry and the tail branches
+    assert normal_ppf(0.5) == pytest.approx(0.0, abs=1e-12)
+    assert normal_ppf(0.01) == pytest.approx(-normal_ppf(0.99), rel=1e-9)
+    assert normal_ppf(1e-9) == pytest.approx(-5.997807, abs=1e-4)
     with pytest.raises(ValueError):
-        wilson_interval(50, 100, confidence=0.42)
+        normal_ppf(0.0)
+    with pytest.raises(ValueError):
+        normal_ppf(1.0)
+
+
+def test_z_for_table_levels_stay_bit_identical():
+    # legacy levels must keep their exact published constants, so every
+    # interval recorded before the inverse-normal fallback stays bit-equal
+    for confidence, z in _Z_TABLE.items():
+        assert _z_for(confidence) == z
+    # near-misses of a table key fall through to the (more exact) ppf
+    assert _z_for(0.95 + 1e-6) != _Z_TABLE[0.95]
+    assert _z_for(0.95 + 1e-6) == pytest.approx(1.9600, abs=1e-3)
+
+
+def test_z_for_fallback_tracks_normal_ppf():
+    for confidence in (0.5, 0.8, 0.975, 0.9973):
+        assert _z_for(confidence) == pytest.approx(
+            normal_ppf((1 + confidence) / 2), rel=1e-12
+        )
+    with pytest.raises(ValueError):
+        _z_for(0.0)
+    with pytest.raises(ValueError):
+        _z_for(1.0)
 
 
 def test_wilson_validation():
@@ -87,12 +130,33 @@ def test_estimate_to_precision_respects_budget():
 
 
 def test_estimate_to_precision_validation():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="target_half_width must be positive"):
         estimate_to_precision(lambda k: 0, target_half_width=0)
+    with pytest.raises(ValueError, match="target_half_width must be positive"):
+        estimate_to_precision(lambda k: 0, target_half_width=-0.5)
+    with pytest.raises(ValueError, match="confidence must be in"):
+        estimate_to_precision(lambda k: 0, target_half_width=0.1, confidence=1.0)
+    with pytest.raises(ValueError, match="confidence must be in"):
+        estimate_to_precision(lambda k: 0, target_half_width=0.1, confidence=-0.2)
     with pytest.raises(ValueError):
         estimate_to_precision(lambda k: 0, target_half_width=0.1, batch=0)
     with pytest.raises(ValueError):
         estimate_to_precision(lambda k: k + 1, target_half_width=0.1, batch=10)
+
+
+@pytest.mark.parametrize("all_success", [True, False])
+def test_estimate_to_precision_degenerate_stream_terminates(all_success):
+    # p̂ pinned at 0 or 1: the Wilson half-width still shrinks (~z²/2T), so
+    # the loop reaches any positive target well inside the budget
+    est = estimate_to_precision(
+        (lambda k: k) if all_success else (lambda k: 0),
+        target_half_width=0.004,
+        batch=100,
+        max_trials=50_000,
+    )
+    assert est.half_width <= 0.004
+    assert est.trials < 50_000
+    assert est.point == (1.0 if all_success else 0.0)
 
 
 def test_mc_success_estimate_brackets_equation1():

@@ -10,7 +10,12 @@ family of per-point ``simulate_success_probability`` calls:
 * statistical equivalence — grid estimates agree with Equation 1 (and with
   the per-point estimator) within Wilson 99.9% intervals;
 * regression tests for the estimator API hardening (iterations >= 1,
-  rng=/seed= exclusivity, empty N ranges).
+  rng=/seed= exclusivity, empty N ranges);
+* the adaptive-stopping contract — a cell frozen at T trials is
+  byte-identical to a fixed-count run at ``iterations=T`` (trial
+  consumption is batching-invariant), its estimate still agrees with
+  Equation 1 at Wilson 99.9%, and the budget/validation semantics mirror
+  ``estimate_to_precision``.
 """
 
 import numpy as np
@@ -151,6 +156,101 @@ def test_mad_grid_matches_per_f_mad_scale():
     assert set(grid) == {2, 3, 4}
     # both are ~1/sqrt(iterations)-scale errors against the same closed form
     assert 0 < grid[3] < 0.02 and 0 < per_f < 0.02
+
+
+# -------------------------------------------------------- adaptive stopping
+
+
+def test_adaptive_cell_byte_identical_to_fixed_run_at_stopped_count():
+    # the reproducibility contract: whatever trial count a cell froze at,
+    # a fixed-count run at exactly that count (same seed) is bit-equal
+    cells = simulate_grid(
+        12, (2, 5, 8), 1_000, seed=PINNED_SEED, target_half_width=0.01
+    )
+    for f, cell in cells.items():
+        fixed = simulate_grid(12, (f,), cell.trials, seed=PINNED_SEED)
+        assert fixed[f] == cell.point == cell.successes / cell.trials, (f, cell)
+
+
+def test_adaptive_cell_independent_of_f_subset():
+    # the batch schedule depends only on (iterations, batch, budget), never
+    # on which cells are still open, so each cell freezes at the same
+    # boundary whether it runs alone or inside the full f-family
+    full = simulate_grid(12, (2, 5, 8), 1_000, seed=PINNED_SEED, target_half_width=0.01)
+    alone = simulate_grid(12, (5,), 1_000, seed=PINNED_SEED, target_half_width=0.01)
+    assert alone[5].trials == full[5].trials
+    assert alone[5].successes == full[5].successes
+
+
+@pytest.mark.parametrize("f", [2, 3, 4])
+def test_adaptive_agrees_with_equation1_within_wilson_999(f):
+    cells = simulate_grid(
+        16, (2, 3, 4), 2_000, seed=PINNED_SEED, target_half_width=0.008
+    )
+    cell = cells[f]
+    interval = wilson_interval(cell.successes, cell.trials, confidence=0.999)
+    exact = success_probability(16, f)
+    assert interval.low <= exact <= interval.high, (
+        f"f={f}: exact {exact:.6f} outside Wilson 99.9% CI "
+        f"[{interval.low:.6f}, {interval.high:.6f}] around adaptive {cell.point:.6f} "
+        f"({cell.trials} trials)"
+    )
+
+
+def test_adaptive_meets_target_and_reports_it():
+    cells = simulate_grid(10, (2, 4, 6), 500, seed=PINNED_SEED, target_half_width=0.02)
+    for cell in cells.values():
+        assert cell.met_target
+        assert cell.half_width <= 0.02
+        assert cell.target_half_width == 0.02
+
+
+def test_adaptive_budget_exhaustion_freezes_below_target():
+    # an unreachably tight target: every cell must freeze at the budget,
+    # marked unmet, mirroring estimate_to_precision's best-effort return
+    cells = simulate_grid(
+        8, (3, 5), 1_000, seed=PINNED_SEED, target_half_width=1e-6, max_iterations=4_000
+    )
+    for cell in cells.values():
+        assert cell.trials == 4_000
+        assert not cell.met_target
+
+
+def test_grid_batch_split_is_byte_identical():
+    # numpy generators fill arrays from the stream in row-major order, so
+    # chunking the draw differently cannot change any estimate — this is
+    # the invariant the adaptive byte-identity contract rests on
+    one = simulate_grid(9, (2, 4), 7_000, seed=PINNED_SEED)
+    split = simulate_grid(9, (2, 4), 7_000, seed=PINNED_SEED, batch=999)
+    assert one == split
+
+
+def test_fixed_grid_precision_mode_matches_plain_estimates():
+    plain = simulate_grid(10, (2, 4), 3_000, seed=PINNED_SEED)
+    cells = simulate_grid(10, (2, 4), 3_000, seed=PINNED_SEED, precision=True)
+    for f in (2, 4):
+        assert cells[f].point == plain[f]
+        assert cells[f].trials == 3_000
+        assert cells[f].low <= plain[f] <= cells[f].high
+        assert cells[f].target_half_width is None
+
+
+def test_adaptive_validation_errors():
+    with pytest.raises(ValueError, match="target_half_width must be positive"):
+        simulate_grid(8, (3,), 100, seed=1, target_half_width=0.0)
+    with pytest.raises(ValueError, match="confidence must be in"):
+        simulate_grid(8, (3,), 100, seed=1, target_half_width=0.01, confidence=1.0)
+    with pytest.raises(ValueError, match="max_iterations"):
+        simulate_grid(8, (3,), 1_000, seed=1, target_half_width=0.01, max_iterations=10)
+
+
+def test_mad_grid_adaptive_mode_tracks_equation1():
+    mads = mean_absolute_deviation_grid(
+        (2, 3), 500, n_max=20, seed=PINNED_SEED, target_half_width=0.02
+    )
+    assert set(mads) == {2, 3}
+    for f, mad in mads.items():
+        assert 0 < mad < 0.03, (f, mad)
 
 
 # ----------------------------------------------------------- API hardening

@@ -33,6 +33,21 @@ def _events():
     ]
 
 
+def _cell_events():
+    """Batch-progress ``stats.cell`` snapshots for two (n, f) cells."""
+    return [
+        {"t": 1.4, "kind": "stats.cell", "pid": 101, "n": 3, "f": 1,
+         "trials": 2000, "half_width": 0.015, "target": 0.01, "met": False,
+         "done": False},
+        {"t": 1.5, "kind": "stats.cell", "pid": 101, "n": 3, "f": 1,
+         "trials": 4000, "half_width": 0.009, "target": 0.01, "met": True,
+         "done": True},
+        {"t": 1.6, "kind": "stats.cell", "pid": 102, "n": 4, "f": 2,
+         "trials": 1000, "half_width": 0.02, "target": 0.01, "met": False,
+         "done": False},
+    ]
+
+
 class TestWatchState:
     def test_reducer_folds_the_stream(self):
         state = WatchState().apply_all(_events())
@@ -84,8 +99,52 @@ class TestWatchState:
         assert state.events == 1
         assert state.jobs_done == 0
 
+    def test_stats_cell_events_fold_into_a_precision_summary(self):
+        state = WatchState().apply_all(_events() + _cell_events())
+        # the second n=3 snapshot supersedes the first
+        assert state.cells[(3, 1)]["trials"] == 4000
+        summary = state.precision_summary()
+        assert summary["cells"] == 2 and summary["done"] == 1
+        assert summary["target"] == 0.01 and summary["at_target"] == 1
+        assert summary["worst"] == {
+            "n": 4, "f": 2, "half_width": 0.02, "trials": 1000,
+        }
+
+    def test_precision_summary_is_none_without_cells_and_untargeted_otherwise(self):
+        assert WatchState().apply_all(_events()).precision_summary() is None
+        state = WatchState()
+        state.apply({"t": 0.5, "kind": "stats.cell", "pid": 1, "n": 3, "f": 1,
+                     "trials": 100, "half_width": 0.05, "done": False})
+        summary = state.precision_summary()
+        assert summary["target"] is None and summary["at_target"] is None
+
+    def test_to_dict_carries_the_precision_block(self):
+        payload = WatchState().apply_all(_events() + _cell_events()).to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["precision"]["cells"] == 2
+        assert round_tripped["precision"]["worst"]["n"] == 4
+        assert WatchState().apply_all(_events()).to_dict()["precision"] is None
+
 
 class TestRenderWatch:
+    def test_ci_line_renders_between_trials_and_workers(self):
+        text = render_watch(
+            WatchState().apply_all(_events() + _cell_events()), color=False
+        )
+        lines = text.splitlines()
+        ci = next(i for i, line in enumerate(lines) if line.startswith("ci:"))
+        assert lines[ci] == (
+            "ci: 2 cell(s), worst half-width 0.02 (n=4, f=2, 1,000 trials)"
+            "  1/2 at target 0.01"
+        )
+        assert lines[ci - 1].startswith("trials")
+        assert lines[ci + 1].startswith("  worker")
+
+    def test_ci_badge_goes_green_when_every_cell_is_at_target(self):
+        events = [e for e in _cell_events() if e.get("f") != 2]
+        text = render_watch(WatchState().apply_all(_events() + events), color=True)
+        assert "\x1b[32m1/1 at target 0.01" in text
+
     def test_plain_snapshot(self):
         text = render_watch(WatchState().apply_all(_events()), color=False)
         assert text.splitlines() == [
