@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep quick-flight quick-precision bench-gate examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep quick-flight quick-precision quick-topology bench-gate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -117,15 +117,39 @@ quick-precision:
 	$(PYTHON) -m repro obs watch /tmp/drs-precision/figure2.flight.jsonl --once --no-color | grep 'at target'
 	@echo "quick-precision: OK (adaptive run met its CI target with trials to spare)"
 
-# perf gate: the committed snapshot vs itself must pass; vs the +25%
+# topology smoke: the whole builder catalog must sweep end-to-end with
+# topology metadata in the manifest and topology-labelled precision cells;
+# a --topology-restricted run must reproduce its slice of the full sweep
+# byte-for-byte; and the dual-hub fast path must stay within 1.3x of the
+# specialized kernel (quick bench profile)
+quick-topology:
+	rm -rf /tmp/drs-topology /tmp/drs-topology-one
+	$(PYTHON) -m repro.experiments.runner --quick topologysweep --out /tmp/drs-topology
+	@for t in dual-hub khub_hubs3 fattree2 fattree3 multicluster; do \
+		test -f /tmp/drs-topology/topologysweep_mc_$$t.csv || exit 1; \
+	done
+	grep -q '"topologies"' /tmp/drs-topology/topologysweep.manifest.json
+	grep -q '"family": "fattree3"' /tmp/drs-topology/topologysweep.manifest.json
+	grep -q '"topology": "dual-hub' /tmp/drs-topology/topologysweep.flight.jsonl
+	$(PYTHON) -m repro obs precision /tmp/drs-topology/topologysweep.flight.jsonl | grep -q multicluster
+	$(PYTHON) -m repro obs watch /tmp/drs-topology/topologysweep.flight.jsonl --once --no-color | grep -q 'ci: '
+	$(PYTHON) -m repro.experiments.runner --quick topologysweep --topology khub:hubs=3 --out /tmp/drs-topology-one
+	cmp /tmp/drs-topology/topologysweep_mc_khub_hubs3.csv /tmp/drs-topology-one/topologysweep_mc_khub_hubs3.csv
+	BENCH_TELEMETRY_DIR= TOPOLOGY_BENCH_ITERATIONS=100000 \
+		$(PYTHON) -m pytest benchmarks/bench_topology_kernel.py --benchmark-only -q
+	@echo "quick-topology: OK (catalog sweeps, metadata recorded, fast path within 1.3x)"
+
+# perf gate: the committed snapshots vs themselves must pass; vs the +25%
 # regression fixture it must exit nonzero (proving the gate actually trips)
 bench-gate:
 	$(PYTHON) -m repro obs bench-diff \
 		benchmarks/BENCH_bench_sweep_kernel.json benchmarks/BENCH_bench_sweep_kernel.json
+	$(PYTHON) -m repro obs bench-diff \
+		benchmarks/BENCH_bench_topology_kernel.json benchmarks/BENCH_bench_topology_kernel.json
 	! $(PYTHON) -m repro obs bench-diff \
 		benchmarks/BENCH_bench_sweep_kernel.json \
 		tests/obs/data/BENCH_bench_sweep_kernel_regressed.json
-	@echo "bench-gate: OK (clean diff passes, injected regression trips)"
+	@echo "bench-gate: OK (clean diffs pass, injected regression trips)"
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

@@ -66,6 +66,17 @@ from repro.analysis.weighted import (
     simulate_weighted_success,
     weighted_failure_matrix,
 )
+from repro.analysis.topokernel import (
+    enumerate_topology_success,
+    exact_topology_success,
+    require_baseline_connectivity,
+    sample_topology_failures,
+    simulate_topology_grid,
+    simulate_topology_success,
+    topology_connected_vec,
+    topology_connectivity_levels,
+    topology_keys,
+)
 from repro.analysis.stats import (
     ProportionEstimate,
     estimate_to_precision,
@@ -119,6 +130,15 @@ __all__ = [
     "weighted_failure_matrix",
     "simulate_weighted_success",
     "hub_nic_weight_ratio",
+    "topology_connected_vec",
+    "topology_connectivity_levels",
+    "topology_keys",
+    "sample_topology_failures",
+    "simulate_topology_success",
+    "simulate_topology_grid",
+    "enumerate_topology_success",
+    "exact_topology_success",
+    "require_baseline_connectivity",
     "component_unavailability",
     "iid_success_probability",
     "iid_allpairs_success_probability",

@@ -36,10 +36,21 @@ from repro.analysis.combinatorics import comb0, covering_nic_failures
 
 
 def _validate(n: int, f: int) -> None:
+    """Shared f-validation of every Equation 1 entry point.
+
+    An ``f`` beyond the component count has no failure sets at all —
+    silently returning a probability would be nonsense, so the error names
+    the universe size (the same contract
+    :meth:`repro.topology.model.Topology.validate_f` gives every generic
+    kernel).
+    """
     if n < 2:
         raise ValueError(f"the pair model needs N >= 2 nodes, got {n}")
     if f < 0 or f > 2 * n + 2:
-        raise ValueError(f"f must be in [0, 2N+2] = [0, {2 * n + 2}], got {f}")
+        raise ValueError(
+            f"f must be in [0, 2N+2] = [0, {2 * n + 2}]: an N={n} cluster has "
+            f"{2 * n + 2} failable components, got {f}"
+        )
 
 
 def total_combinations(n: int, f: int) -> int:

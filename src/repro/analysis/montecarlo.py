@@ -224,6 +224,115 @@ def connectivity_levels(component_keys: np.ndarray, two_hop: bool = True) -> np.
     return (k < critical[:, None]).sum(axis=1)
 
 
+def _grid_sweep(
+    width: int,
+    levels_from_keys,
+    fs: tuple[int, ...],
+    iterations: int,
+    rng: np.random.Generator,
+    batch: int,
+    target_half_width: float | None,
+    confidence: float,
+    max_iterations: int | None,
+    precision: bool,
+    n: int,
+    topology: str | None = None,
+) -> dict[int, float] | dict[int, CellPrecision]:
+    """The common-random-numbers sweep loop behind every grid estimator.
+
+    One sampling pass per batch serves the whole f-grid: draw
+    ``rng.random((size, width))``, reduce each row to its breakdown
+    threshold via ``levels_from_keys``, histogram the thresholds, and read
+    every level's survivor count off the reversed cumulative sum.  The
+    draw shape and order are part of the reproducibility contract —
+    :func:`simulate_grid` (dual-hub) and
+    :func:`repro.analysis.topokernel.simulate_topology_grid` (any
+    topology) both consume ``(size, width)`` uniforms per batch, so the
+    dual-hub topology dispatched through the generic API replays the
+    byte-identical stream of the specialized path.
+
+    ``levels_from_keys`` maps one uniform key matrix to per-row breakdown
+    thresholds in ``[0, width]`` (level ``f`` survives iff threshold
+    ``>= f``); ``n`` and ``topology`` only label the published
+    :class:`~repro.obs.precision.CellPrecision` records.  Fixed-count,
+    ``precision=True``, and adaptive-stopping semantics are exactly those
+    documented on :func:`simulate_grid`.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if len(fs) == 0:
+        raise ValueError("fs must name at least one failure count")
+    adaptive = target_half_width is not None
+    if adaptive:
+        if target_half_width <= 0:
+            raise ValueError(f"target_half_width must be positive, got {target_half_width}")
+        if max_iterations is None:
+            max_iterations = DEFAULT_MAX_ADAPTIVE_TRIALS
+        if max_iterations < iterations:
+            raise ValueError(
+                f"max_iterations must be >= iterations ({iterations}), got {max_iterations}"
+            )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    # survivors[s] accumulates rows with breakdown threshold >= s, so the
+    # whole f-grid (indeed every f in [0, width]) reads off one histogram.
+    survivors = np.zeros(width + 1, dtype=np.int64)
+    total = 0
+    budget = max_iterations if adaptive else iterations
+    frozen: dict[int, CellPrecision] = {}
+    started = perf_counter()
+
+    def cell_at(f: int) -> CellPrecision:
+        return CellPrecision.from_counts(
+            n,
+            f,
+            int(survivors[f]),
+            total,
+            confidence=confidence,
+            target_half_width=target_half_width,
+            elapsed_s=perf_counter() - started,
+            topology=topology,
+        )
+
+    while total < budget:
+        if adaptive:
+            # first round is the caller's floor, then double, capped at the
+            # CRN batch size — overshoot past a cell's true stopping point
+            # is at most 2x, and CI checks stay O(log trials)
+            size = min(iterations if total == 0 else total, batch, budget - total)
+        else:
+            size = min(budget - total, batch)
+        levels = levels_from_keys(rng.random((size, width)))
+        counts = np.bincount(levels, minlength=width + 1)
+        survivors += counts[::-1].cumsum()[::-1]
+        total += size
+        hb = heartbeat()
+        if hb is not None:
+            hb.add(size)
+        recording = flight_recorder() is not None
+        if adaptive:
+            exhausted = total >= budget
+            for f in fs:
+                if f in frozen:
+                    continue
+                cell = cell_at(f)
+                if cell.met_target or exhausted:
+                    frozen[f] = cell
+                if recording:
+                    publish_cell_precision(cell, done=f in frozen)
+            if len(frozen) == len(set(fs)):
+                break
+        elif recording:
+            for f in fs:
+                publish_cell_precision(cell_at(f), done=total >= budget)
+    publish_mc_throughput(total, perf_counter() - started)
+    if adaptive:
+        return {f: frozen[f] for f in fs}
+    if precision:
+        return {f: cell_at(f) for f in fs}
+    return {f: int(survivors[f]) / iterations for f in fs}
+
+
 def simulate_grid(
     n: int,
     fs: tuple[int, ...],
@@ -285,75 +394,20 @@ def simulate_grid(
     for f in fs:
         if not 0 <= f <= width:
             raise ValueError(f"f must be in [0, {width}], got {f}")
-    adaptive = target_half_width is not None
-    if adaptive:
-        if target_half_width <= 0:
-            raise ValueError(f"target_half_width must be positive, got {target_half_width}")
-        if max_iterations is None:
-            max_iterations = DEFAULT_MAX_ADAPTIVE_TRIALS
-        if max_iterations < iterations:
-            raise ValueError(
-                f"max_iterations must be >= iterations ({iterations}), got {max_iterations}"
-            )
-    if not 0.0 < confidence < 1.0:
-        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
     rng = _resolve_rng(rng, seed, f"mc-grid/n={n}")
-    # survivors[s] accumulates rows with breakdown threshold >= s, so the
-    # whole f-grid (indeed every f in [0, 2n+2]) reads off one histogram.
-    survivors = np.zeros(width + 1, dtype=np.int64)
-    total = 0
-    budget = max_iterations if adaptive else iterations
-    frozen: dict[int, CellPrecision] = {}
-    started = perf_counter()
-
-    def cell_at(f: int) -> CellPrecision:
-        return CellPrecision.from_counts(
-            n,
-            f,
-            int(survivors[f]),
-            total,
-            confidence=confidence,
-            target_half_width=target_half_width,
-            elapsed_s=perf_counter() - started,
-        )
-
-    while total < budget:
-        if adaptive:
-            # first round is the caller's floor, then double, capped at the
-            # CRN batch size — overshoot past a cell's true stopping point
-            # is at most 2x, and CI checks stay O(log trials)
-            size = min(iterations if total == 0 else total, batch, budget - total)
-        else:
-            size = min(budget - total, batch)
-        levels = connectivity_levels(rng.random((size, width)), two_hop=two_hop)
-        counts = np.bincount(levels, minlength=width + 1)
-        survivors += counts[::-1].cumsum()[::-1]
-        total += size
-        hb = heartbeat()
-        if hb is not None:
-            hb.add(size)
-        recording = flight_recorder() is not None
-        if adaptive:
-            exhausted = total >= budget
-            for f in fs:
-                if f in frozen:
-                    continue
-                cell = cell_at(f)
-                if cell.met_target or exhausted:
-                    frozen[f] = cell
-                if recording:
-                    publish_cell_precision(cell, done=f in frozen)
-            if len(frozen) == len(set(fs)):
-                break
-        elif recording:
-            for f in fs:
-                publish_cell_precision(cell_at(f), done=total >= budget)
-    publish_mc_throughput(total, perf_counter() - started)
-    if adaptive:
-        return {f: frozen[f] for f in fs}
-    if precision:
-        return {f: cell_at(f) for f in fs}
-    return {f: int(survivors[f]) / iterations for f in fs}
+    return _grid_sweep(
+        width,
+        lambda keys: connectivity_levels(keys, two_hop=two_hop),
+        fs,
+        iterations,
+        rng,
+        batch,
+        target_half_width,
+        confidence,
+        max_iterations,
+        precision,
+        n,
+    )
 
 
 def simulate_curve(

@@ -1,0 +1,395 @@
+"""Generic vectorized survivability kernels over arbitrary topologies.
+
+:mod:`repro.analysis.montecarlo` hand-derives the dual-hub cluster's
+success predicate and breakdown thresholds; this module computes the same
+quantities for *any* :class:`~repro.topology.model.Topology` — and
+dispatches back to a topology's attached specialized kernels whenever they
+apply, so the paper's topology pays nothing for the generality:
+
+* :func:`topology_connected_vec` — the batch success predicate: a batched
+  dense-matmul BFS over the failure matrix (``reached @ adjacency`` per
+  hop, ``float32`` so it runs on the BLAS path), with predicate-specific
+  acceptance (pair / all-terminals / quorum) and a row-wise pure-Python
+  fallback for custom predicates.
+* :func:`topology_connectivity_levels` — per-row breakdown thresholds for
+  monotone predicates via a vectorized binary search over the failure
+  level (``O(log width)`` BFS passes per batch), which is what keeps the
+  common-random-numbers sweep and adaptive stopping available to every
+  topology.
+* :func:`sample_topology_failures` / :func:`topology_keys` — exactly-``f``
+  sampling with optional per-site weights (the Gumbel top-k trick of
+  :mod:`~repro.analysis.weighted`, generalized to any failure universe).
+* :func:`simulate_topology_success` / :func:`simulate_topology_grid` — the
+  per-point and sweep estimators, mirroring
+  :func:`~repro.analysis.montecarlo.simulate_success_probability` and
+  :func:`~repro.analysis.montecarlo.simulate_grid` (the grid path shares
+  the same sweep loop, so stream consumption is identical and the
+  dual-hub topology replays byte-identical draws).
+* :func:`enumerate_topology_success` / :func:`exact_topology_success` —
+  the exhaustive oracle and the closed-form dispatch.
+
+Every kernel validates ``f`` through
+:meth:`~repro.topology.model.Topology.validate_f` — the same clear
+``ValueError`` contract as :func:`repro.analysis.exact.success_probability`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from time import perf_counter
+
+import numpy as np
+
+from repro.analysis.montecarlo import _grid_sweep, _resolve_rng
+from repro.obs.flightrecorder import flight_recorder
+from repro.obs.precision import CellPrecision, publish_cell_precision
+from repro.obs.profiler import publish_mc_throughput
+from repro.obs.progress import heartbeat
+from repro.topology.model import ConnectivityPredicate, Topology
+
+#: refuse exhaustive enumeration beyond this many failure sets
+DEFAULT_MAX_ENUMERATION = 2_000_000
+
+
+def _cell_n(topology: Topology) -> int:
+    """The N used to label precision cells (node/host count when known)."""
+    for key in ("n", "hosts"):
+        if key in topology.meta:
+            return int(topology.meta[key])
+    return topology.width
+
+
+def require_baseline_connectivity(
+    topology: Topology, predicate: ConnectivityPredicate | None = None
+) -> None:
+    """Reject topologies whose predicate already fails with zero failures.
+
+    The sweep kernel's breakdown thresholds live in ``[0, width]`` — a
+    topology that is dead at ``f = 0`` has no threshold, and every
+    estimate would silently read 0.  Raising here turns a mis-built
+    topology into an immediate, explainable error.
+    """
+    if not topology.connected((), predicate):
+        raise ValueError(
+            f"topology {topology.name!r} fails predicate "
+            f"{(predicate or topology.predicate).describe()!r} with zero failures"
+        )
+
+
+# ------------------------------------------------------------------ predicate
+def _alive_matrix(topology: Topology, failed: np.ndarray) -> np.ndarray:
+    """Per-row vertex liveness from a failure-site indicator matrix."""
+    failed = np.asarray(failed, dtype=bool)
+    if failed.ndim != 2 or failed.shape[1] != topology.width:
+        raise ValueError(
+            f"failure matrix must be (iterations, {topology.width}) for "
+            f"topology {topology.name!r}, got {failed.shape}"
+        )
+    alive = np.ones((failed.shape[0], topology.num_vertices), dtype=bool)
+    alive[:, list(topology.failure_sites)] = ~failed
+    return alive
+
+
+def _batched_reach(adjacency: np.ndarray, alive: np.ndarray, start: int) -> np.ndarray:
+    """Vertices reachable from ``start`` per row, by batched matmul BFS.
+
+    One ``reached @ adjacency`` per hop expands every row's frontier at
+    once; iteration count is the graph diameter (small for every shipped
+    family), and each product runs on the BLAS ``float32`` path.
+    """
+    reached = np.zeros_like(alive)
+    reached[:, start] = alive[:, start]
+    while True:
+        frontier = (reached.astype(np.float32) @ adjacency) > 0
+        new = frontier & alive & ~reached
+        if not new.any():
+            return reached
+        reached |= new
+
+
+def topology_connected_vec(
+    topology: Topology,
+    failed: np.ndarray,
+    predicate: ConnectivityPredicate | None = None,
+) -> np.ndarray:
+    """Batch success predicate: one bool per failure-matrix row.
+
+    ``failed`` is ``(iterations, width)`` over the canonical failure-site
+    order.  With the topology's own default predicate, an attached
+    ``connected_fn`` fast path wins (the dual-hub builder wires
+    :func:`~repro.analysis.montecarlo.pair_connected_vec` here); otherwise
+    the batched BFS evaluates the shipped predicate kinds directly, and
+    any other :class:`ConnectivityPredicate` falls back to row-wise
+    reference evaluation (correct, but O(rows) Python).
+    """
+    pred = predicate if predicate is not None else topology.predicate
+    if predicate is None and topology.connected_fn is not None:
+        return np.asarray(topology.connected_fn(np.asarray(failed, dtype=bool)), dtype=bool)
+    alive = _alive_matrix(topology, failed)
+    adjacency = topology.adjacency_matrix()
+    if pred.kind == "pair":
+        src = topology.terminals[pred.a]
+        dst = topology.terminals[pred.b]
+        return _batched_reach(adjacency, alive, src)[:, dst]
+    if pred.kind == "all-terminals":
+        reached = _batched_reach(adjacency, alive, topology.terminals[0])
+        return reached[:, list(topology.terminals)].all(axis=1)
+    if pred.kind == "quorum":
+        need = pred.required(topology)
+        terminals = list(topology.terminals)
+        ok = np.zeros(alive.shape[0], dtype=bool)
+        for t in terminals:
+            pending = ~ok
+            if not pending.any():
+                break
+            reached = _batched_reach(adjacency, alive[pending], t)
+            ok[pending] = reached[:, terminals].sum(axis=1) >= need
+        return ok
+    return np.array(
+        [topology.connected(np.flatnonzero(row), pred) for row in np.asarray(failed, dtype=bool)],
+        dtype=bool,
+    )
+
+
+# --------------------------------------------------------------------- levels
+def _rank_rows(keys: np.ndarray) -> np.ndarray:
+    """Per-row rank of each entry in ascending key order (dense, 0-based)."""
+    order = np.argsort(keys, axis=1)
+    ranks = np.empty(keys.shape, dtype=np.int64)
+    np.put_along_axis(ranks, order, np.arange(keys.shape[1])[None, :], axis=1)
+    return ranks
+
+
+def topology_connectivity_levels(
+    topology: Topology,
+    keys: np.ndarray,
+    predicate: ConnectivityPredicate | None = None,
+) -> np.ndarray:
+    """Per row: the largest ``f`` at which the topology still survives.
+
+    The generic form of
+    :func:`~repro.analysis.montecarlo.connectivity_levels`: ``keys`` is
+    any row-wise comparable matrix over the failure-site axis (raw uniform
+    draws on the hot path, or weighted keys from :func:`topology_keys`);
+    the level-``f`` failure set of a row is its ``f`` smallest keys.  For
+    a monotone predicate each row has a single breakdown threshold, found
+    by vectorized binary search over ``f`` — ``ceil(log2(width + 1))``
+    batched predicate evaluations regardless of batch size.  A topology
+    with an attached ``levels_fn`` (dual-hub) skips the search entirely
+    when its default predicate is in play.
+
+    The topology must survive ``f = 0`` (see
+    :func:`require_baseline_connectivity`), so thresholds are well-defined
+    and non-negative.
+    """
+    if predicate is None and topology.levels_fn is not None:
+        return np.asarray(topology.levels_fn(np.asarray(keys)))
+    keys = np.asarray(keys)
+    if keys.ndim != 2 or keys.shape[1] != topology.width:
+        raise ValueError(
+            f"key matrix must be (iterations, {topology.width}) for "
+            f"topology {topology.name!r}, got {keys.shape}"
+        )
+    require_baseline_connectivity(topology, predicate)
+    ranks = _rank_rows(keys)
+    rows = keys.shape[0]
+    # invariant: every row survives at lo and fails at hi (hi = width + 1
+    # acts as "never observed failing"); binary search shrinks hi - lo to 1
+    lo = np.zeros(rows, dtype=np.int64)
+    hi = np.full(rows, topology.width + 1, dtype=np.int64)
+    while True:
+        active = (hi - lo) > 1
+        if not active.any():
+            return lo
+        mid = (lo + hi) // 2
+        ok = topology_connected_vec(topology, ranks < mid[:, None], predicate)
+        lo = np.where(active & ok, mid, lo)
+        hi = np.where(active & ~ok, mid, hi)
+
+
+# ------------------------------------------------------------------- sampling
+def _weight_keys(topology: Topology, u: np.ndarray) -> np.ndarray:
+    """Turn raw uniforms into failure-priority keys under the weight model.
+
+    Identity for uniform topologies (the raw draw *is* the key matrix —
+    the exact stream of the specialized kernels).  Weighted topologies get
+    the Gumbel top-k transform of :mod:`~repro.analysis.weighted`:
+    ``log(-log u) - log w`` is ascending in failure priority, so "the
+    ``f`` smallest keys fail" realizes weighted sampling without
+    replacement over any failure universe.
+    """
+    weights = topology.weight_array()
+    if weights is None:
+        return u
+    return np.log(-np.log(u)) - np.log(weights)[None, :]
+
+
+def topology_keys(topology: Topology, iterations: int, rng: np.random.Generator) -> np.ndarray:
+    """One i.i.d. key matrix: a row's ``f`` smallest keys are its failures.
+
+    Exactly ``iterations * width`` uniforms are consumed and then passed
+    through :func:`_weight_keys`, keeping the stream contract independent
+    of the failure model.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    return _weight_keys(topology, rng.random((iterations, topology.width)))
+
+
+def sample_topology_failures(
+    topology: Topology, f: int, iterations: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean ``(iterations, width)`` matrix of exactly-``f`` failures.
+
+    The generic analogue of
+    :func:`~repro.analysis.montecarlo.sample_failure_matrix` (uniform
+    sites) and :func:`~repro.analysis.weighted.weighted_failure_matrix`
+    (weighted sites), driven by the topology's own weight model.
+    """
+    topology.validate_f(f)
+    keys = topology_keys(topology, iterations, rng)
+    failed = np.zeros(keys.shape, dtype=bool)
+    if f > 0:
+        picks = np.argpartition(keys, f - 1, axis=1)[:, :f]
+        np.put_along_axis(failed, picks, True, axis=1)
+    return failed
+
+
+# ----------------------------------------------------------------- estimators
+def simulate_topology_success(
+    topology: Topology,
+    f: int,
+    iterations: int,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    batch: int = 200_000,
+    predicate: ConnectivityPredicate | None = None,
+) -> float:
+    """Monte Carlo survivability of one topology at exactly ``f`` failures.
+
+    Mirrors :func:`~repro.analysis.montecarlo.simulate_success_probability`:
+    seed-based callers get an independent stream keyed by the topology name
+    and ``f``; batches bound peak memory; heartbeat/precision/throughput
+    instrumentation follows the same None-check discipline.
+    """
+    topology.validate_f(f)
+    require_baseline_connectivity(topology, predicate)
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    rng = _resolve_rng(rng, seed, f"topo/{topology.name}/f={f}")
+    n = _cell_n(topology)
+    remaining = iterations
+    good = 0
+    started = perf_counter()
+    while remaining > 0:
+        size = min(remaining, batch)
+        failed = sample_topology_failures(topology, f, size, rng)
+        good += int(topology_connected_vec(topology, failed, predicate).sum())
+        remaining -= size
+        hb = heartbeat()
+        if hb is not None:
+            hb.add(size)
+        if flight_recorder() is not None:
+            publish_cell_precision(
+                CellPrecision.from_counts(
+                    n,
+                    f,
+                    good,
+                    iterations - remaining,
+                    elapsed_s=perf_counter() - started,
+                    topology=topology.name,
+                ),
+                done=remaining == 0,
+            )
+    publish_mc_throughput(iterations, perf_counter() - started)
+    return good / iterations
+
+
+def simulate_topology_grid(
+    topology: Topology,
+    fs: tuple[int, ...],
+    iterations: int,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    batch: int = 200_000,
+    predicate: ConnectivityPredicate | None = None,
+    target_half_width: float | None = None,
+    confidence: float = 0.95,
+    max_iterations: int | None = None,
+    precision: bool = False,
+) -> dict[int, float] | dict[int, CellPrecision]:
+    """The CRN sweep over one topology: every ``f`` from one sampling pass.
+
+    Exactly :func:`~repro.analysis.montecarlo.simulate_grid` — shared
+    sweep loop, nested failure sets, adaptive stopping, ``stats.cell``
+    events — with breakdown thresholds from
+    :func:`topology_connectivity_levels` (monotone predicates only; every
+    shipped predicate qualifies).  Seeding keys the spawned stream by the
+    topology name alone, so any f-subset reproduces its slice of the full
+    sweep, and the dual-hub topology's fast path replays the specialized
+    kernel's byte-identical stream.
+    """
+    for f in fs:
+        topology.validate_f(f)
+    require_baseline_connectivity(topology, predicate)
+    rng = _resolve_rng(rng, seed, f"topo-grid/{topology.name}")
+    return _grid_sweep(
+        topology.width,
+        lambda u: topology_connectivity_levels(topology, _weight_keys(topology, u), predicate),
+        fs,
+        iterations,
+        rng,
+        batch,
+        target_half_width,
+        confidence,
+        max_iterations,
+        precision,
+        _cell_n(topology),
+        topology=topology.name,
+    )
+
+
+# -------------------------------------------------------------------- oracles
+def enumerate_topology_success(
+    topology: Topology,
+    f: int,
+    predicate: ConnectivityPredicate | None = None,
+    max_combinations: int = DEFAULT_MAX_ENUMERATION,
+) -> float:
+    """Exact survivability by enumerating all ``C(width, f)`` failure sets.
+
+    The assumption-free oracle (reference BFS per subset) the vectorized
+    kernels are tested against; refuses universes larger than
+    ``max_combinations`` subsets rather than silently running for hours.
+    """
+    topology.validate_f(f)
+    total = comb(topology.width, f)
+    if total > max_combinations:
+        raise ValueError(
+            f"enumeration over C({topology.width}, {f}) = {total} failure sets "
+            f"exceeds max_combinations={max_combinations}"
+        )
+    good = sum(
+        topology.connected(subset, predicate)
+        for subset in combinations(range(topology.width), f)
+    )
+    return good / total
+
+
+def exact_topology_success(
+    topology: Topology,
+    f: int,
+    predicate: ConnectivityPredicate | None = None,
+    max_combinations: int = DEFAULT_MAX_ENUMERATION,
+) -> float:
+    """Closed-form survivability when the topology ships one, else enumerate.
+
+    The dual-hub builder attaches Equation 1 here, so the generic API
+    answers the paper's grid exactly; every other family falls back to
+    :func:`enumerate_topology_success` (subject to the same size guard).
+    """
+    topology.validate_f(f)
+    if predicate is None and topology.exact_fn is not None:
+        return float(topology.exact_fn(f))
+    return enumerate_topology_success(topology, f, predicate, max_combinations)

@@ -112,14 +112,18 @@ def _announce_plan(
 ) -> None:
     if recorder is None:
         return
-    recorder.emit(
-        "plan.begin",
+    fields: dict[str, Any] = dict(
         backend=backend,
         workers=workers,
         jobs=len(plan.jobs),
         resumed=len(resumed),
         total_trials=plan.meta.get("total_trials"),
     )
+    # topology-parameterized plans label their whole flight stream; legacy
+    # plans omit the field so old consumers see an unchanged event shape
+    if plan.meta.get("topology") is not None:
+        fields["topology"] = plan.meta["topology"]
+    recorder.emit("plan.begin", **fields)
     for name in resumed:
         recorder.emit("job.resumed", job=name)
 

@@ -19,6 +19,7 @@ rows/series the paper reports, and the CLI in :mod:`~repro.experiments.runner`
 | availability| downtime minutes/year planning               | ``availability``|
 | scenarios   | every shipped drs-sim scenario, end to end  | ``scenariosuite``|
 | scaling     | deployed-range size sweep + feasibility     | ``scaling``     |
+| toposweep   | P[Success] grids per topology family        | ``topologysweep``|
 """
 
 from repro.experiments.base import ExperimentResult
@@ -35,6 +36,7 @@ from repro.experiments import (
     motivation,
     scaling,
     scenariosuite,
+    topologysweep,
     wholecluster,
 )
 
@@ -53,4 +55,5 @@ __all__ = [
     "availability",
     "scenariosuite",
     "scaling",
+    "topologysweep",
 ]

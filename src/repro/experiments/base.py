@@ -157,20 +157,21 @@ def collect_precision_cells(values: dict[str, Any], prefix: str = "mc/n=") -> li
         for key, entry in row.items():
             if not isinstance(entry, dict) or "p" not in entry:
                 continue
-            cells.append(
-                {
-                    "n": n,
-                    "f": int(key),
-                    "point": float(entry["p"]),
-                    "low": float(entry["low"]),
-                    "high": float(entry["high"]),
-                    "successes": int(entry.get("successes", 0)),
-                    "trials": int(entry["trials"]),
-                    "half_width": (float(entry["high"]) - float(entry["low"])) / 2.0,
-                    "target": entry.get("target"),
-                    "met": bool(entry.get("met", False)),
-                }
-            )
+            cell = {
+                "n": n,
+                "f": int(key),
+                "point": float(entry["p"]),
+                "low": float(entry["low"]),
+                "high": float(entry["high"]),
+                "successes": int(entry.get("successes", 0)),
+                "trials": int(entry["trials"]),
+                "half_width": (float(entry["high"]) - float(entry["low"])) / 2.0,
+                "target": entry.get("target"),
+                "met": bool(entry.get("met", False)),
+            }
+            if entry.get("topology") is not None:
+                cell["topology"] = entry["topology"]
+            cells.append(cell)
     return cells
 
 

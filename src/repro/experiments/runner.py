@@ -73,6 +73,7 @@ RUN_STATE_FIELDS = (
     "no_checkpoint",
     "target_ci",
     "ci_confidence",
+    "topology",
 )
 
 RUN_STATE_VERSION = 1
@@ -116,6 +117,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="SEED",
         help="override every seed-taking experiment's root seed",
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="restrict topology-aware experiments to one family, e.g. "
+        "'khub:hubs=3' or 'fattree2:leaves=4,spines=2' (see docs/topology.md)",
     )
     parser.add_argument(
         "--target-ci",
@@ -190,11 +198,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--ci-confidence must be in (0, 1), got {args.ci_confidence}")
     if args.job_timeout is not None and args.job_timeout <= 0:
         parser.error(f"--job-timeout must be positive, got {args.job_timeout}")
+    if args.topology is not None:
+        from repro.topology import parse_topology_spec
+
+        try:
+            parse_topology_spec(args.topology)
+        except ValueError as exc:
+            parser.error(f"--topology: {exc}")
 
     if args.resume is not None:
-        if args.names or args.seed is not None or args.quick:
+        if args.names or args.seed is not None or args.quick or args.topology is not None:
             parser.error("--resume replays the original invocation; don't combine it with "
-                         "experiment names, --quick, or --seed")
+                         "experiment names, --quick, --seed, or --topology")
         resume_dir = Path(args.resume)
         try:
             state = _load_run_state(resume_dir)
@@ -243,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["target_ci"] = args.target_ci
             if spec.accepts("ci_confidence"):
                 kwargs["ci_confidence"] = args.ci_confidence
+        if args.topology is not None and spec.accepts("topology"):
+            kwargs["topology"] = args.topology
         if spec.parallel:
             kwargs["executor"] = executor
             if not args.no_checkpoint:

@@ -1,0 +1,222 @@
+"""TOPO — figure2-style survivability grids over the topology catalog.
+
+The generalization ROADMAP item 2 asks for: the same P[Success]-vs-size
+story as Figure 2, but over *any* family in
+:mod:`repro.topology.builders` — the paper's dual-hub cluster (whose fast
+path replays the specialized kernel's exact streams), k-hub clusters,
+two- and three-level fat trees, and multi-cluster WAN interconnects.
+
+The decomposition mirrors :mod:`~repro.experiments.figure2`: one engine
+job per (topology spec, size) runs the common-random-numbers sweep kernel
+(:func:`repro.analysis.topokernel.simulate_topology_grid`) over the whole
+f-grid in a single sampling pass, with each job's stream spawned from
+``(seed, "topologysweep", job name)`` — so ``--jobs N``, checkpoint
+resume, and any subset of the grid reproduce the full run bit for bit.
+Manifests record each family's :meth:`~repro.topology.model.Topology.describe`
+block, and every precision cell carries the topology name for ``repro obs
+precision``/``watch``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.analysis import exact_topology_success, simulate_topology_grid
+from repro.engine import ExperimentSpec, Job, JobPlan, cell_point, register, run_plan
+from repro.experiments.base import (
+    ExperimentResult,
+    add_precision_artifacts,
+    collect_precision_cells,
+)
+from repro.topology import build_topology, parse_topology_spec
+
+#: one spec per shipped family — the end-to-end default sweep
+DEFAULT_TOPOLOGIES = ("dual-hub", "khub:hubs=3", "fattree2", "fattree3", "multicluster")
+F_VALUES = tuple(range(1, 9))
+SIZES = (4, 6, 8, 12, 16)
+
+#: exhaustive-enumeration budget for the exact overlay (beyond it the
+#: overlay is skipped for that cell rather than stalling the reduction)
+EXACT_BUDGET = 200_000
+
+
+def _topo_grid(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[str, Any]:
+    """Engine job: the CRN f-grid for one (topology spec, size) point.
+
+    Returns string-keyed rows exactly like figure2's ``_mc_curve`` —
+    floats for fixed-count runs, :meth:`CellPrecision.to_row` dicts (with
+    the topology name) under ``target_ci`` — so the checkpoint codec and
+    the shared precision tooling apply unchanged.
+    """
+    topology = build_topology(params["spec"], size=params["size"])
+    rng = np.random.default_rng(seed_seq)
+    fs = tuple(f for f in params["fs"] if f <= topology.width)
+    target = params.get("target_ci")
+    if target is not None:
+        cells = simulate_topology_grid(
+            topology,
+            fs,
+            params["iterations"],
+            rng,
+            target_half_width=target,
+            confidence=params.get("ci_confidence", 0.95),
+        )
+        return {str(f): cell.to_row() for f, cell in cells.items()}
+    estimates = simulate_topology_grid(topology, fs, params["iterations"], rng)
+    return {str(f): p for f, p in estimates.items()}
+
+
+def build_plan(
+    topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
+    sizes: tuple[int, ...] = SIZES,
+    f_values: tuple[int, ...] = F_VALUES,
+    mc_iterations: int = 20_000,
+    seed: int = 2100,
+    target_ci: float | None = None,
+    ci_confidence: float = 0.95,
+) -> JobPlan:
+    """One sweep job per (topology spec, size) grid point."""
+    for spec in topologies:
+        parse_topology_spec(spec)  # fail before any job runs, with the catalog
+    jobs = []
+    for spec in topologies:
+        for size in sizes:
+            params: dict[str, Any] = {
+                "spec": spec,
+                "size": size,
+                "fs": list(f_values),
+                "iterations": mc_iterations,
+            }
+            if target_ci is not None:
+                params["target_ci"] = target_ci
+                params["ci_confidence"] = ci_confidence
+            jobs.append(Job(name=f"mc/{spec}/size={size}", fn=_topo_grid, params=params))
+
+    def reduce(values: dict[str, Any]) -> ExperimentResult:
+        result = ExperimentResult("topologysweep")
+        described = {spec: build_topology(spec, size=sizes[-1]).describe() for spec in topologies}
+        result.meta = {
+            "seed": seed,
+            "topologies": described,
+            "sizes": list(sizes),
+            "f_values": list(f_values),
+            "mc_iterations": mc_iterations,
+        }
+        if target_ci is not None:
+            result.meta["target_ci"] = target_ci
+            result.meta["ci_confidence"] = ci_confidence
+        xs = list(sizes)
+        for spec in topologies:
+            curves = {
+                f"f={f}": (
+                    xs,
+                    [cell_point(values, f"mc/{spec}/size={size}", str(f)) for size in sizes],
+                )
+                for f in f_values
+            }
+            result.add_series(
+                f"mc_{spec.replace(':', '_').replace(',', '_').replace('=', '')}",
+                curves,
+                caption=f"P[Success] vs size: {spec} ({mc_iterations} iterations/point)"
+                if target_ci is None
+                else f"P[Success] vs size: {spec} (adaptive to ±{target_ci:g})",
+                x_label="size",
+                y_label="P[Success]",
+            )
+        # exact anchors where a closed form or a small enumeration exists:
+        # the generic-vs-exact agreement the acceptance criteria pin down
+        rows = []
+        for spec in topologies:
+            for size in sizes:
+                topology = build_topology(spec, size=size)
+                for f in f_values:
+                    if f > topology.width:
+                        continue
+                    mc = cell_point(values, f"mc/{spec}/size={size}", str(f))
+                    try:
+                        exact_p = exact_topology_success(topology, f, max_combinations=EXACT_BUDGET)
+                    except ValueError:  # universe too large to enumerate
+                        continue
+                    rows.append([spec, size, f, exact_p, mc, abs(mc - exact_p)])
+        if rows:
+            result.add_table(
+                "exact_check",
+                ["topology", "size", "f", "exact", "montecarlo", "abs_error"],
+                rows,
+                caption="Generic kernel vs exact survivability (closed form or enumeration)",
+            )
+        result.add_table(
+            "families",
+            ["topology", "family", "vertices", "width", "terminals", "predicate"],
+            [
+                [spec, d["family"], d["vertices"], d["width"], d["terminals"], d["predicate"]]
+                for spec, d in described.items()
+            ],
+            caption=f"Topology catalog at size={sizes[-1]}",
+        )
+        cells = []
+        for spec in topologies:
+            cells.extend(collect_precision_cells(values, prefix=f"mc/{spec}/size="))
+        add_precision_artifacts(result, cells, target_ci, ci_confidence)
+        return result
+
+    return JobPlan(
+        experiment="topologysweep",
+        seed=seed,
+        jobs=jobs,
+        reduce=reduce,
+        meta={
+            "total_trials": sum(j.params.get("iterations", 0) for j in jobs),
+            "topology": ",".join(topologies),
+        },
+    )
+
+
+def run(
+    topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
+    sizes: tuple[int, ...] = SIZES,
+    f_values: tuple[int, ...] = F_VALUES,
+    mc_iterations: int = 20_000,
+    seed: int = 2100,
+    topology: str | None = None,
+    target_ci: float | None = None,
+    ci_confidence: float = 0.95,
+    executor: Any | None = None,
+    checkpoint: Any | None = None,
+) -> ExperimentResult:
+    """Survivability grid per topology family.
+
+    ``topology`` (the CLI's ``--topology`` spec string, e.g.
+    ``"khub:hubs=3"``) restricts the sweep to one family; otherwise every
+    entry of ``topologies`` runs.  ``target_ci`` switches every cell to
+    adaptive Wilson-interval stopping, exactly as in figure2.
+    """
+    if topology is not None:
+        topologies = (topology,)
+    plan = build_plan(
+        topologies=topologies,
+        sizes=sizes,
+        f_values=f_values,
+        mc_iterations=mc_iterations,
+        seed=seed,
+        target_ci=target_ci,
+        ci_confidence=ci_confidence,
+    )
+    return run_plan(plan, executor, checkpoint=checkpoint)
+
+
+register(
+    ExperimentSpec(
+        name="topologysweep",
+        run=run,
+        profiles={
+            "quick": {"mc_iterations": 2_000, "sizes": (4, 6, 8)},
+            "full": {},
+        },
+        parallel=True,
+        order=150,  # after every paper artifact: this is the generalization
+        description="P[Success] grids over the pluggable topology catalog",
+    )
+)

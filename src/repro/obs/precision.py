@@ -43,7 +43,10 @@ class CellPrecision:
 
     ``target_half_width`` is the adaptive-stopping goal the cell ran
     under (``None`` for fixed-count runs); ``elapsed_s`` is the sampling
-    wall time attributed to the cell's row so far.
+    wall time attributed to the cell's row so far.  ``topology`` names the
+    topology the cell was estimated over (``None`` for the classic
+    dual-hub estimators, which predate the field — every consumer treats
+    the two identically).
     """
 
     n: int
@@ -56,6 +59,7 @@ class CellPrecision:
     high: float
     target_half_width: float | None = None
     elapsed_s: float = 0.0
+    topology: str | None = None
 
     @classmethod
     def from_counts(
@@ -67,6 +71,7 @@ class CellPrecision:
         confidence: float = 0.95,
         target_half_width: float | None = None,
         elapsed_s: float = 0.0,
+        topology: str | None = None,
     ) -> "CellPrecision":
         """Build the record (Wilson interval included) from raw counts."""
         from repro.analysis.stats import wilson_interval  # no cycle at module load
@@ -83,6 +88,7 @@ class CellPrecision:
             high=est.high,
             target_half_width=target_half_width,
             elapsed_s=elapsed_s,
+            topology=topology,
         )
 
     # --------------------------------------------------------------- derived
@@ -141,6 +147,8 @@ class CellPrecision:
         if self.target_half_width is not None:
             row["target"] = self.target_half_width
             row["met"] = self.met_target
+        if self.topology is not None:
+            row["topology"] = self.topology
         return row
 
     def event_fields(self, done: bool = False) -> dict[str, Any]:
@@ -158,6 +166,8 @@ class CellPrecision:
         if self.target_half_width is not None:
             fields["target"] = self.target_half_width
             fields["met"] = self.met_target
+        if self.topology is not None:
+            fields["topology"] = self.topology
         return fields
 
 
@@ -178,22 +188,28 @@ def publish_cell_precision(cell: CellPrecision, done: bool = False) -> None:
 
 
 # ----------------------------------------------------------------- reduction
-def fold_cells(events: Iterable[Mapping[str, Any]]) -> dict[tuple[int, int], dict[str, Any]]:
-    """Latest ``stats.cell`` state per (n, f) cell from a flight stream.
+def fold_cells(events: Iterable[Mapping[str, Any]]) -> dict[tuple, dict[str, Any]]:
+    """Latest ``stats.cell`` state per cell from a flight stream.
 
     Batch-progress events for one cell supersede each other; the returned
     dict holds each cell's most recent snapshot (the ``done`` one, for a
     completed run).  Non-``stats.cell`` events are ignored, so the whole
-    stream can be passed as-is.
+    stream can be passed as-is.  Cells are keyed ``(n, f)`` for legacy
+    (topology-less) events and ``(topology, n, f)`` when the event carries
+    a topology label — one multi-topology sweep can share a stream without
+    same-(n, f) cells clobbering each other.
     """
-    cells: dict[tuple[int, int], dict[str, Any]] = {}
+    cells: dict[tuple, dict[str, Any]] = {}
     for event in events:
         if event.get("kind") != STATS_CELL_KIND:
             continue
-        key = (int(event.get("n", -1)), int(event.get("f", -1)))
+        n, f = int(event.get("n", -1)), int(event.get("f", -1))
+        topology = event.get("topology")
+        key = (n, f) if topology is None else (str(topology), n, f)
         cells[key] = {
-            "n": key[0],
-            "f": key[1],
+            "n": n,
+            "f": f,
+            "topology": topology,
             "successes": int(event.get("successes", 0)),
             "trials": int(event.get("trials", 0)),
             "confidence": float(event.get("confidence", 0.95)),
@@ -251,9 +267,11 @@ def precision_report(
     for c in rows:
         if target is not None:
             c["met"] = c.get("half_width", float("inf")) <= target
-    by_n: dict[int, int] = {}
+    # a CRN "row" is one sampling pass: one N per topology (legacy rows
+    # carry no topology and fold into the None group, as before)
+    by_n: dict[tuple, int] = {}
     for c in rows:
-        n = int(c.get("n", -1))
+        n = (c.get("topology"), int(c.get("n", -1)))
         by_n[n] = max(by_n.get(n, 0), int(c.get("trials", 0)))
     total_trials = sum(by_n.values())
     fixed_trials = len(by_n) * max(by_n.values(), default=0)
@@ -278,6 +296,7 @@ def precision_report(
             {
                 "n": int(c.get("n", -1)),
                 "f": int(c.get("f", -1)),
+                "topology": c.get("topology"),
                 "point": float(c.get("point", 0.0)),
                 "half_width": float(c.get("half_width", 0.0)),
                 "trials": int(c.get("trials", 0)),
@@ -314,12 +333,19 @@ def render_precision_report(report: Mapping[str, Any], source: str = "") -> str:
     parts = [render_table(["field", "value"], summary_rows, title=title)]
     worst = report.get("worst_cells", [])
     if worst:
+        # label rows with the topology only when the run recorded one
+        # (legacy artifacts fold into the classic n/f-only table)
+        labelled = any(c.get("topology") for c in worst)
+        headers = (["topology"] if labelled else []) + [
+            "n", "f", "P[S]", "half-width", "trials", "at target"
+        ]
         parts.append(
             render_table(
-                ["n", "f", "P[S]", "half-width", "trials", "at target"],
+                headers,
                 [
-                    [c["n"], c["f"], f"{c['point']:.6f}", f"{c['half_width']:.6g}",
-                     c["trials"], "yes" if c["met"] else ("no" if target is not None else "-")]
+                    ([c.get("topology") or "-"] if labelled else [])
+                    + [c["n"], c["f"], f"{c['point']:.6f}", f"{c['half_width']:.6g}",
+                       c["trials"], "yes" if c["met"] else ("no" if target is not None else "-")]
                     for c in worst
                 ],
                 title="worst cells (widest Wilson interval first)",

@@ -85,8 +85,9 @@ class WatchState:
     events: int = 0
     finished: bool = False
     workers: dict[int, WorkerView] = field(default_factory=dict)
-    #: latest ``stats.cell`` snapshot per (n, f) Monte Carlo cell
-    cells: dict[tuple[int, int], dict[str, Any]] = field(default_factory=dict)
+    #: latest ``stats.cell`` snapshot per Monte Carlo cell — keyed (n, f),
+    #: or (topology, n, f) when the event carries a topology label
+    cells: dict[tuple, dict[str, Any]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ fold
     def apply(self, event: Mapping[str, Any]) -> None:
@@ -147,8 +148,13 @@ class WatchState:
             if event.get("total"):
                 self.total_trials = int(event["total"])
         elif kind == "stats.cell":
-            key = (int(event.get("n", -1)), int(event.get("f", -1)))
+            n, f = int(event.get("n", -1)), int(event.get("f", -1))
+            topology = event.get("topology")
+            key = (n, f) if topology is None else (str(topology), n, f)
             self.cells[key] = {
+                "n": n,
+                "f": f,
+                "topology": topology,
                 "trials": int(event.get("trials", 0)),
                 "half_width": float(event.get("half_width", 0.0)),
                 "target": event.get("target"),
@@ -193,20 +199,23 @@ class WatchState:
         """
         if not self.cells:
             return None
-        worst_key = max(self.cells, key=lambda k: self.cells[k]["half_width"])
-        worst = self.cells[worst_key]
+        worst = max(self.cells.values(), key=lambda c: c["half_width"])
         targets = [c["target"] for c in self.cells.values() if c.get("target") is not None]
+        worst_block = {
+            "n": worst["n"],
+            "f": worst["f"],
+            "half_width": worst["half_width"],
+            "trials": worst["trials"],
+        }
+        # topology-less events keep the legacy payload shape exactly
+        if worst.get("topology") is not None:
+            worst_block["topology"] = worst["topology"]
         return {
             "cells": len(self.cells),
             "done": sum(c["done"] for c in self.cells.values()),
             "target": max(targets) if targets else None,
             "at_target": sum(c["met"] for c in self.cells.values()) if targets else None,
-            "worst": {
-                "n": worst_key[0],
-                "f": worst_key[1],
-                "half_width": worst["half_width"],
-                "trials": worst["trials"],
-            },
+            "worst": worst_block,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -318,10 +327,12 @@ def render_watch(state: WatchState, color: bool = True) -> str:
     precision = state.precision_summary()
     if precision is not None:
         worst = precision["worst"]
+        where = f"n={worst['n']}, f={worst['f']}"
+        if worst.get("topology"):
+            where = f"{worst['topology']}, {where}"
         ci_line = (
             f"ci: {precision['cells']} cell(s), worst half-width "
-            f"{worst['half_width']:.2g} (n={worst['n']}, f={worst['f']}, "
-            f"{worst['trials']:,} trials)"
+            f"{worst['half_width']:.2g} ({where}, {worst['trials']:,} trials)"
         )
         if precision["target"] is not None:
             at = precision["at_target"]

@@ -1,0 +1,49 @@
+"""Pluggable survivability topologies.
+
+The :class:`~repro.topology.model.Topology` dataclass describes a component
+graph (typed roles, adjacency, an ordered failure universe, terminal
+vertices) plus what "survived" means
+(:class:`~repro.topology.model.ConnectivityPredicate`); the builder catalog
+in :mod:`~repro.topology.builders` ships the paper's dual-hub cluster and
+the generalized families ROADMAP item 2 names.  The vectorized kernels
+that estimate survivability over any topology live in
+:mod:`repro.analysis.topokernel`; see docs/topology.md.
+"""
+
+from repro.topology.builders import (
+    TOPOLOGY_FAMILIES,
+    build_topology,
+    dual_hub_cluster,
+    fat_tree_three_level,
+    fat_tree_two_level,
+    k_hub_cluster,
+    multi_cluster_wan,
+    parse_topology_spec,
+    topology_catalog,
+)
+from repro.topology.model import (
+    AllTerminalsConnected,
+    ConnectivityPredicate,
+    PairConnected,
+    TerminalQuorum,
+    Topology,
+    reachable_from,
+)
+
+__all__ = [
+    "Topology",
+    "ConnectivityPredicate",
+    "PairConnected",
+    "AllTerminalsConnected",
+    "TerminalQuorum",
+    "reachable_from",
+    "dual_hub_cluster",
+    "k_hub_cluster",
+    "fat_tree_two_level",
+    "fat_tree_three_level",
+    "multi_cluster_wan",
+    "TOPOLOGY_FAMILIES",
+    "topology_catalog",
+    "parse_topology_spec",
+    "build_topology",
+]

@@ -23,6 +23,7 @@ def test_every_experiment_module_registers_a_spec():
         "scenarios",
         "desval-curve",
         "scaling",
+        "topologysweep",
     ]
 
 
@@ -50,7 +51,8 @@ def test_kwargs_returns_a_copy():
 
 
 def test_sweep_specs_are_parallel_and_seeded():
-    for name in ("figure2", "figure3", "desval", "availability", "wholecluster", "ablations"):
+    for name in ("figure2", "figure3", "desval", "availability", "wholecluster", "ablations",
+                 "topologysweep"):
         spec = get_spec(name)
         assert spec.parallel, name
         assert spec.accepts_seed, name

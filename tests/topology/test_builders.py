@@ -1,0 +1,131 @@
+"""The builder catalog and the ``--topology`` spec-string grammar."""
+
+import pytest
+
+from repro.analysis import require_baseline_connectivity
+from repro.topology import (
+    TOPOLOGY_FAMILIES,
+    build_topology,
+    dual_hub_cluster,
+    fat_tree_three_level,
+    fat_tree_two_level,
+    k_hub_cluster,
+    multi_cluster_wan,
+    parse_topology_spec,
+    topology_catalog,
+)
+
+
+class TestCatalog:
+    def test_catalog_lists_every_family(self):
+        assert topology_catalog() == [
+            "dual-hub", "khub", "fattree2", "fattree3", "multicluster",
+        ]
+        assert set(TOPOLOGY_FAMILIES) == set(topology_catalog())
+
+    def test_every_family_builds_and_survives_zero_failures(self):
+        for family in topology_catalog():
+            topology = build_topology(family)
+            require_baseline_connectivity(topology)
+            assert topology.family == family
+            assert topology.width >= 1
+
+
+class TestSpecGrammar:
+    def test_bare_family_uses_builder_defaults(self):
+        family, params = parse_topology_spec("khub")
+        assert (family, params) == ("khub", {})
+
+    def test_parameters_parse_as_ints(self):
+        family, params = parse_topology_spec("fattree2:leaves=6,spines=3,size=12")
+        assert family == "fattree2"
+        assert params == {"leaves": 6, "spines": 3, "size": 12}
+
+    def test_unknown_family_names_the_catalog(self):
+        with pytest.raises(ValueError, match="dual-hub, khub, fattree2"):
+            parse_topology_spec("torus")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology parameter 'wings'"):
+            parse_topology_spec("khub:wings=3")
+
+    def test_malformed_and_non_integer_parameters_rejected(self):
+        with pytest.raises(ValueError, match="malformed topology parameter"):
+            parse_topology_spec("khub:hubs")
+        with pytest.raises(ValueError, match="needs an integer"):
+            parse_topology_spec("khub:hubs=many")
+
+    def test_size_argument_overrides_spec_size(self):
+        assert build_topology("dual-hub:size=4", size=9).meta["n"] == 9
+        assert build_topology("dual-hub:size=4").meta["n"] == 4
+
+    def test_parameter_family_mismatch_becomes_a_value_error(self):
+        # 'spines' is a real parameter, just not one dual-hub accepts
+        with pytest.raises(ValueError, match="topology spec 'dual-hub:spines=4'"):
+            build_topology("dual-hub:spines=4")
+
+
+class TestFamilyShapes:
+    def test_dual_hub_matches_the_paper_universe(self):
+        topology = dual_hub_cluster(8)
+        assert topology.width == 18  # 2N + 2
+        assert topology.roles[0] == topology.roles[1] == "hub"
+        assert topology.role_counts() == {"hub": 2, "nic": 16}
+        assert len(topology.terminals) == 8
+        # NIC of node i on network j sits at 2 + 2i + j, wired to hub j
+        adjacency = topology.adjacency_sets()
+        for i in range(8):
+            for j in range(2):
+                assert j in adjacency[2 + 2 * i + j]
+
+    def test_khub_with_two_hubs_reproduces_the_dual_hub_graph(self):
+        k = k_hub_cluster(5, hubs=2)
+        d = dual_hub_cluster(5)
+        assert k.roles == d.roles
+        assert k.failure_sites == d.failure_sites
+        assert sorted(map(sorted, k.edges)) == sorted(map(sorted, d.edges))
+
+    def test_khub_nic_bounds(self):
+        assert k_hub_cluster(4, hubs=4, nics=2).role_counts() == {"hub": 4, "nic": 8}
+        with pytest.raises(ValueError, match="nics per node"):
+            k_hub_cluster(4, hubs=2, nics=3)
+
+    def test_fattree2_default_pair_crosses_leaves(self):
+        topology = fat_tree_two_level(8, leaves=4, spines=2)
+        assert topology.width == 8 + 4 + 2
+        # hosts 0 and 1 round-robin onto different leaves
+        adjacency = topology.adjacency_sets()
+        leaf_of = lambda h: next(v for v in adjacency[h] if topology.roles[v] == "leaf")
+        assert leaf_of(0) != leaf_of(1)
+
+    def test_fattree3_default_pair_crosses_pods(self):
+        topology = fat_tree_three_level(8, pods=2, leaves_per_pod=2)
+        a = topology.terminals[topology.predicate.a]
+        b = topology.terminals[topology.predicate.b]
+        assert a != b
+        # severing every core must disconnect the cross-pod pair
+        cores = [i for i, site in enumerate(topology.failure_sites)
+                 if topology.roles[site] == "core"]
+        assert not topology.connected(cores)
+
+    def test_multicluster_pair_depends_on_the_wan_ring(self):
+        topology = multi_cluster_wan(2, clusters=3)
+        wan = [i for i, site in enumerate(topology.failure_sites)
+               if topology.roles[site] == "wan"]
+        assert len(wan) == 3
+        # cluster 2 is pure transit: the ring routes around its router...
+        assert topology.connected(wan[2:])
+        # ...but an endpoint cluster's router is its only exit
+        assert not topology.connected(wan[:1])
+
+    def test_builders_reject_degenerate_sizes(self):
+        with pytest.raises(ValueError, match="size >= 2"):
+            dual_hub_cluster(1)
+        with pytest.raises(ValueError, match="size >= 2"):
+            k_hub_cluster(0)
+        with pytest.raises(ValueError, match="size >= 2"):
+            fat_tree_two_level(1)
+        with pytest.raises(ValueError, match="pods >= 2"):
+            fat_tree_three_level(4, pods=1)
+        with pytest.raises(ValueError, match="clusters >= 2"):
+            multi_cluster_wan(2, clusters=1)

@@ -1,0 +1,188 @@
+"""Exhaustive and statistical oracles for the generic topology kernels.
+
+Three layers of evidence that the generic machinery computes the same
+quantity as the specialized dual-hub kernels and as Equation 1:
+
+* exhaustive — every failure subset at n in {2, 3}: pure-Python
+  reachability == batched matmul BFS == ``pair_connected_vec``;
+* algebraic — breakdown thresholds from the generic binary search match
+  the hand-derived ``connectivity_levels``, and the dual-hub fast path
+  makes the generic grid replay the specialized grid byte for byte;
+* statistical — the generic Monte Carlo estimator agrees with Equation 1
+  within a Wilson 99.9% interval on the paper's grid.
+"""
+
+from dataclasses import replace
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    connectivity_levels,
+    enumerate_topology_success,
+    exact_topology_success,
+    simulate_topology_grid,
+    simulate_topology_success,
+    success_probability,
+    topology_connected_vec,
+    topology_connectivity_levels,
+)
+from repro.analysis.montecarlo import pair_connected_vec
+from repro.analysis.stats import wilson_interval
+from repro.topology import dual_hub_cluster, k_hub_cluster
+
+
+def strip_fast_paths(topology):
+    """The same topology with specialized kernels detached.
+
+    Forces every call through the generic batched-BFS / binary-search
+    path — the thing these oracles are actually probing.
+    """
+    return replace(topology, connected_fn=None, levels_fn=None, exact_fn=None)
+
+
+def _all_failure_matrices(width: int, f: int) -> np.ndarray:
+    """Every size-``f`` failure subset of ``width`` sites, one per row."""
+    subsets = list(combinations(range(width), f))
+    failed = np.zeros((len(subsets), width), dtype=bool)
+    for row, subset in enumerate(subsets):
+        failed[row, list(subset)] = True
+    return failed
+
+
+@pytest.mark.parametrize("n", [2, 3])
+class TestExhaustiveEquivalence:
+    """Generic BFS == specialized kernel == reference BFS, every subset."""
+
+    def test_all_three_predicates_agree_on_every_failure_set(self, n):
+        topology = dual_hub_cluster(n)
+        generic = strip_fast_paths(topology)
+        width = topology.width
+        for f in range(width + 1):
+            failed = _all_failure_matrices(width, f)
+            via_bfs = topology_connected_vec(generic, failed)
+            via_specialized = pair_connected_vec(failed)
+            via_reference = np.array(
+                [topology.connected(np.flatnonzero(row)) for row in failed]
+            )
+            np.testing.assert_array_equal(via_bfs, via_specialized)
+            np.testing.assert_array_equal(via_bfs, via_reference)
+
+    def test_fast_path_dispatch_matches_generic_bfs(self, n):
+        topology = dual_hub_cluster(n)
+        failed = _all_failure_matrices(topology.width, 3)
+        np.testing.assert_array_equal(
+            topology_connected_vec(topology, failed),
+            topology_connected_vec(strip_fast_paths(topology), failed),
+        )
+
+    def test_enumeration_matches_equation1_at_every_f(self, n):
+        topology = strip_fast_paths(dual_hub_cluster(n))
+        for f in range(topology.width + 1):
+            assert enumerate_topology_success(topology, f) == pytest.approx(
+                success_probability(n, f), abs=1e-12
+            )
+
+    def test_exact_dispatch_uses_the_closed_form(self, n):
+        topology = dual_hub_cluster(n)
+        for f in range(topology.width + 1):
+            assert exact_topology_success(topology, f) == success_probability(n, f)
+
+
+class TestLevelsEquivalence:
+    def test_binary_search_matches_hand_derived_thresholds(self):
+        topology = strip_fast_paths(dual_hub_cluster(6))
+        keys = np.random.default_rng(7).random((4000, topology.width))
+        np.testing.assert_array_equal(
+            topology_connectivity_levels(topology, keys),
+            connectivity_levels(keys),
+        )
+
+    def test_levels_encode_the_breakdown_threshold(self):
+        # level >= f  iff  the f smallest keys leave the pair connected
+        topology = strip_fast_paths(k_hub_cluster(3, hubs=3))
+        rng = np.random.default_rng(11)
+        keys = rng.random((500, topology.width))
+        levels = topology_connectivity_levels(topology, keys)
+        ranks = np.argsort(np.argsort(keys, axis=1), axis=1)
+        for f in range(topology.width + 1):
+            np.testing.assert_array_equal(
+                levels >= f, topology_connected_vec(topology, ranks < f)
+            )
+
+    def test_dual_hub_grid_is_byte_identical_to_specialized_sweep(self):
+        from repro.analysis import simulate_grid
+
+        fs = (1, 2, 3, 4, 5)
+        specialized = simulate_grid(8, fs, 20_000, np.random.default_rng(42))
+        generic = simulate_topology_grid(
+            dual_hub_cluster(8), fs, 20_000, np.random.default_rng(42)
+        )
+        assert specialized == generic  # same draws, same thresholds, exactly
+
+    def test_generic_path_grid_agrees_statistically(self):
+        # no fast path: same estimator, independent verification of the BFS
+        fs = (2, 3, 4)
+        cells = simulate_topology_grid(
+            strip_fast_paths(dual_hub_cluster(6)),
+            fs,
+            40_000,
+            np.random.default_rng(5),
+            precision=True,
+        )
+        for f in fs:
+            interval = wilson_interval(cells[f].successes, cells[f].trials, 0.999)
+            assert interval.low <= success_probability(6, f) <= interval.high
+
+
+class TestWilsonAgreementOnPaperGrid:
+    """Generic MC vs Equation 1 on the Figure 2 grid, at 99.9% confidence.
+
+    With 9 cells a false failure has probability ~0.9% even if every
+    kernel is correct-by-construction; the fixed seeds pin the outcome.
+    """
+
+    GRID = [(n, f) for n in (4, 8, 16) for f in (2, 3, 4)]
+
+    @pytest.mark.parametrize("n,f", GRID)
+    def test_generic_estimate_covers_equation1(self, n, f):
+        topology = strip_fast_paths(dual_hub_cluster(n))
+        trials = 60_000
+        p_hat = simulate_topology_success(topology, f, trials, seed=900 + 10 * n + f)
+        interval = wilson_interval(round(p_hat * trials), trials, 0.999)
+        assert interval.low <= success_probability(n, f) <= interval.high
+
+
+class TestSharedValidation:
+    """Satellite: the f-range contract is one ValueError across all layers."""
+
+    def test_equation1_names_the_component_count(self):
+        with pytest.raises(ValueError, match="10 failable components, got 11"):
+            success_probability(4, 11)
+        with pytest.raises(ValueError, match="f must be in"):
+            success_probability(4, -1)
+
+    def test_generic_kernels_share_the_contract(self):
+        topology = dual_hub_cluster(4)  # width 10, same universe as N=4
+        for call in (
+            lambda: simulate_topology_success(topology, 11, 100, seed=1),
+            lambda: simulate_topology_grid(topology, (2, 11), 100, seed=1),
+            lambda: enumerate_topology_success(topology, 11),
+            lambda: exact_topology_success(topology, 11),
+        ):
+            with pytest.raises(ValueError, match="10 failable components, got 11"):
+                call()
+
+    def test_dead_at_zero_failures_is_rejected_not_estimated(self):
+        from repro.topology import PairConnected, Topology
+
+        # two isolated vertices: the pair predicate fails before any failure
+        dead = Topology(
+            "split", "test", ("node", "node", "nic"), (), (2,), (0, 1),
+            predicate=PairConnected(0, 1),
+        )
+        with pytest.raises(ValueError, match="zero failures"):
+            simulate_topology_grid(dead, (1,), 100, seed=1)
+        with pytest.raises(ValueError, match="zero failures"):
+            simulate_topology_success(dead, 1, 100, seed=1)

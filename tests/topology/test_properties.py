@@ -1,0 +1,139 @@
+"""Property tests: monotonicity and CRN invariants over the whole catalog.
+
+Two families of invariants back the sweep kernel's correctness argument:
+
+* every shipped builder's default predicate is *monotone* — adding a
+  failure can never resurrect connectivity.  This is the assumption that
+  lets the sweep reduce each sampled row to one breakdown threshold.
+* the topology-aware rank kernel preserves the common-random-numbers
+  nesting — a row's level-``f`` failure set is contained in its
+  level-``f+1`` set, and the reported threshold is exactly the boundary
+  between surviving and failing prefixes.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import topology_connected_vec, topology_connectivity_levels, topology_keys
+from repro.topology import (
+    dual_hub_cluster,
+    fat_tree_three_level,
+    fat_tree_two_level,
+    k_hub_cluster,
+    multi_cluster_wan,
+)
+
+# one small instance per shipped family — widths kept low so exhaustive
+# bitmask draws and per-example kernels stay fast under hypothesis
+CATALOG = {
+    "dual-hub": dual_hub_cluster(3),
+    "khub": k_hub_cluster(2, hubs=3),
+    "fattree2": fat_tree_two_level(4, leaves=2, spines=2),
+    "fattree3": fat_tree_three_level(4, pods=2, leaves_per_pod=1, aggs_per_pod=2, cores=2),
+    "multicluster": multi_cluster_wan(1, clusters=3),
+}
+FAMILIES = sorted(CATALOG)
+MAX_WIDTH = max(t.width for t in CATALOG.values())
+
+
+def generic(topology):
+    return replace(topology, connected_fn=None, levels_fn=None, exact_fn=None)
+
+
+@given(
+    family=st.sampled_from(FAMILIES),
+    mask=st.integers(min_value=0, max_value=2**MAX_WIDTH - 1),
+    extra=st.integers(min_value=0, max_value=MAX_WIDTH - 1),
+)
+def test_connectivity_is_monotone_in_the_failure_set(family, mask, extra):
+    """Failing one more component never reconnects a broken topology."""
+    topology = CATALOG[family]
+    failed = [i for i in range(topology.width) if mask >> i & 1]
+    extra %= topology.width
+    smaller = topology.connected(failed)
+    larger = topology.connected(set(failed) | {extra})
+    assert larger <= smaller  # monotone: superset can only be worse
+
+
+@given(
+    family=st.sampled_from(FAMILIES),
+    mask=st.integers(min_value=0, max_value=2**MAX_WIDTH - 1),
+)
+def test_vectorized_predicate_matches_reference(family, mask):
+    topology = CATALOG[family]
+    failed = np.array([[bool(mask >> i & 1) for i in range(topology.width)]])
+    assert topology_connected_vec(generic(topology), failed)[0] == topology.connected(
+        np.flatnonzero(failed[0])
+    )
+
+
+@settings(max_examples=25)
+@given(family=st.sampled_from(FAMILIES), seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_rank_kernel_levels_are_exact_breakdown_thresholds(family, seed):
+    """level >= f  iff  the row's f lowest-key components leave it alive."""
+    topology = generic(CATALOG[family])
+    keys = topology_keys(topology, 32, np.random.default_rng(seed))
+    levels = topology_connectivity_levels(topology, keys)
+    assert ((0 <= levels) & (levels <= topology.width)).all()
+    ranks = np.argsort(np.argsort(keys, axis=1), axis=1)
+    for f in range(topology.width + 1):
+        np.testing.assert_array_equal(
+            levels >= f,
+            topology_connected_vec(topology, ranks < f),
+            err_msg=f"{family} at f={f}",
+        )
+
+
+@settings(max_examples=25)
+@given(family=st.sampled_from(FAMILIES), seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_crn_failure_sets_are_nested_across_f(family, seed):
+    """The level-f set grows one component at a time — CRN's whole point."""
+    topology = CATALOG[family]
+    keys = topology_keys(topology, 16, np.random.default_rng(seed))
+    order = np.argsort(keys, axis=1)
+    for row in order:
+        prefix: set[int] = set()
+        for f in range(topology.width):
+            bigger = prefix | {int(row[f])}
+            assert prefix < bigger and len(bigger) == f + 1
+            prefix = bigger
+
+
+@settings(max_examples=15)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_weighted_keys_preserve_the_threshold_invariant(seed):
+    """The Gumbel-key transform changes the measure, not the semantics."""
+    base = k_hub_cluster(2, hubs=2)
+    weighted = replace(base, weights=tuple(float(2 + i % 3) for i in range(base.width)))
+    keys = topology_keys(weighted, 24, np.random.default_rng(seed))
+    levels = topology_connectivity_levels(weighted, keys)
+    ranks = np.argsort(np.argsort(keys, axis=1), axis=1)
+    for f in range(weighted.width + 1):
+        np.testing.assert_array_equal(
+            levels >= f, topology_connected_vec(weighted, ranks < f)
+        )
+
+
+@settings(max_examples=20)
+@given(
+    family=st.sampled_from(FAMILIES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_dual_hub_fast_path_and_generic_search_agree(family, seed):
+    """Whatever levels_fn a builder attaches must match the binary search."""
+    topology = CATALOG[family]
+    if topology.levels_fn is None:
+        keys = topology_keys(topology, 16, np.random.default_rng(seed))
+        np.testing.assert_array_equal(
+            topology_connectivity_levels(topology, keys),
+            topology_connectivity_levels(generic(topology), keys),
+        )
+    else:
+        keys = topology_keys(topology, 64, np.random.default_rng(seed))
+        np.testing.assert_array_equal(
+            np.asarray(topology.levels_fn(keys)),
+            topology_connectivity_levels(generic(topology), keys),
+        )
