@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep quick-flight quick-precision quick-topology bench-gate examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep quick-flight quick-precision quick-topology quick-variance bench-gate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -139,6 +139,26 @@ quick-topology:
 		$(PYTHON) -m pytest benchmarks/bench_topology_kernel.py --benchmark-only -q
 	@echo "quick-topology: OK (catalog sweeps, metadata recorded, fast path within 1.3x)"
 
+# variance-reduction smoke: a stratified-cv adaptive run must label its
+# precision cells and flight events with the estimator method, render
+# through the precision verb, and beat crude CRN by >= 3x trials at equal
+# CI width (quick bench profile; the committed
+# BENCH_bench_variance_reduction.json holds the full-profile numbers)
+quick-variance:
+	rm -rf /tmp/drs-variance
+	$(PYTHON) -m repro.experiments.runner --quick figure2 --target-ci 0.01 \
+		--mc-method stratified-cv --out /tmp/drs-variance
+	head -1 /tmp/drs-variance/figure2_mc_precision.csv | grep -q method
+	grep -q 'stratified-cv' /tmp/drs-variance/figure2_mc_precision.csv
+	grep -q '"method": "stratified-cv"' /tmp/drs-variance/figure2.flight.jsonl
+	grep -q '"mc_method": "stratified-cv"' /tmp/drs-variance/figure2.manifest.json
+	$(PYTHON) -m repro obs precision /tmp/drs-variance/figure2.flight.jsonl > /dev/null
+	$(PYTHON) -m repro obs watch /tmp/drs-variance/figure2.flight.jsonl --once --no-color \
+		| grep -q 'stratified-cv'
+	BENCH_TELEMETRY_DIR= VARIANCE_BENCH_TARGET=0.002 \
+		$(PYTHON) -m pytest benchmarks/bench_variance_reduction.py --benchmark-only -q
+	@echo "quick-variance: OK (stratified-cv labelled end-to-end, >= 3x fewer trials)"
+
 # perf gate: the committed snapshots vs themselves must pass; vs the +25%
 # regression fixture it must exit nonzero (proving the gate actually trips)
 bench-gate:
@@ -146,6 +166,9 @@ bench-gate:
 		benchmarks/BENCH_bench_sweep_kernel.json benchmarks/BENCH_bench_sweep_kernel.json
 	$(PYTHON) -m repro obs bench-diff \
 		benchmarks/BENCH_bench_topology_kernel.json benchmarks/BENCH_bench_topology_kernel.json
+	$(PYTHON) -m repro obs bench-diff \
+		benchmarks/BENCH_bench_variance_reduction.json \
+		benchmarks/BENCH_bench_variance_reduction.json
 	! $(PYTHON) -m repro obs bench-diff \
 		benchmarks/BENCH_bench_sweep_kernel.json \
 		tests/obs/data/BENCH_bench_sweep_kernel_regressed.json

@@ -1,0 +1,86 @@
+"""Performance bench — variance reduction vs crude CRN at equal CI width.
+
+Guards the stratified/control-variate estimator stack
+(:mod:`repro.analysis.variance`): at the same adaptive-stopping target,
+the ``stratified-cv`` kernel must reach the requested interval half-width
+with at least **3x** fewer trials than the crude common-random-numbers
+sweep (``simulate_grid(method="crn")``).  Strata 1 and 2 are answered in
+closed form and the endpoint-dead control variate absorbs most of the
+sampled stratum's variance, so the trial budget collapses — the gate is on
+the deterministic trials ratio (machine-independent), with wall-clock in
+``extra_info`` for the committed snapshot.
+
+``VARIANCE_BENCH_TARGET`` shrinks the precision target for the quick CI
+profile (default 0.0002 half-width, the full-profile setting behind the
+committed ``BENCH_bench_variance_reduction.json``).
+"""
+
+import os
+from time import perf_counter
+
+from repro.analysis import simulate_grid
+
+N = 63
+F_GRID = (2, 3, 4, 5, 6)
+TARGET = float(os.environ.get("VARIANCE_BENCH_TARGET", "0.0002"))
+SEED = 424242
+FIRST_BATCH = 1_000
+BUDGET = 50_000_000
+
+
+def _adaptive(method):
+    return simulate_grid(
+        N,
+        F_GRID,
+        FIRST_BATCH,
+        seed=SEED,
+        method=method,
+        target_half_width=TARGET,
+        max_iterations=BUDGET,
+    )
+
+
+def _spent(cells) -> int:
+    """Trials the sweep consumed: the last-frozen cell's count."""
+    return max(cell.trials for cell in cells.values())
+
+
+def test_crude_crn_at_target(benchmark):
+    cells = benchmark.pedantic(lambda: _adaptive("crn"), rounds=1, iterations=1, warmup_rounds=0)
+    assert all(cell.met_target for cell in cells.values())
+    benchmark.extra_info["trials"] = _spent(cells)
+
+
+def test_stratified_cv_at_target(benchmark):
+    cells = benchmark.pedantic(
+        lambda: _adaptive("stratified-cv"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert all(cell.met_target for cell in cells.values())
+    assert all(cell.method == "stratified-cv" for cell in cells.values())
+    benchmark.extra_info["trials"] = _spent(cells)
+
+
+def test_speedup_cv_vs_crude_at_equal_width(benchmark):
+    """CI perf gate: >= 3x fewer trials than crude CRN at equal CI width."""
+    started = perf_counter()
+    crude = _adaptive("crn")
+    crude_s = perf_counter() - started
+
+    started = perf_counter()
+    reduced = benchmark.pedantic(
+        lambda: _adaptive("stratified-cv"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    reduced_s = perf_counter() - started
+
+    crude_trials, reduced_trials = _spent(crude), _spent(reduced)
+    trials_ratio = crude_trials / reduced_trials
+    benchmark.extra_info["target_half_width"] = TARGET
+    benchmark.extra_info["crude_trials"] = crude_trials
+    benchmark.extra_info["reduced_trials"] = reduced_trials
+    benchmark.extra_info["trials_ratio"] = round(trials_ratio, 2)
+    benchmark.extra_info["crude_seconds"] = round(crude_s, 4)
+    benchmark.extra_info["wall_clock_ratio"] = round(crude_s / reduced_s, 2)
+    assert trials_ratio >= 3.0, (
+        f"stratified-cv needed {reduced_trials:,} trials vs crude {crude_trials:,} "
+        f"({trials_ratio:.1f}x) to reach half-width {TARGET:g} — below the 3x gate"
+    )

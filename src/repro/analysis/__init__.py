@@ -12,6 +12,9 @@ This package reproduces the paper's quantitative evaluation:
   single backplane) for the design-choice benchmarks.
 * :mod:`~repro.analysis.montecarlo` — the vectorized Monte Carlo estimator
   (the paper's "DRS Simulation" used to validate the model, Figure 3).
+* :mod:`~repro.analysis.variance` — variance-reduced estimators: hub-state
+  stratification with closed-form stratum weights and the endpoint-dead
+  control variate (derivation in ``docs/model.md`` §11).
 * :mod:`~repro.analysis.convergence` — mean-absolute-deviation-vs-iterations
   study over ``f < N < 64`` (Figure 3 proper).
 * :mod:`~repro.analysis.cost` — the proactive-cost model of Figure 1:
@@ -38,8 +41,19 @@ from repro.analysis.montecarlo import (
     failure_rank_matrix,
     sample_failure_matrix,
     simulate_curve,
+    simulate_full_grid,
     simulate_grid,
     simulate_success_probability,
+)
+from repro.analysis.variance import (
+    allocate_stratum_trials,
+    endpoint_dead_conditional_mean,
+    hub_stratum_weights,
+    one_hub_conditional_success,
+    sample_conditional_failure_matrix,
+    site_stratum_weights,
+    stratified_grid,
+    stratified_success_probability,
 )
 from repro.analysis.convergence import (
     convergence_study,
@@ -107,7 +121,16 @@ __all__ = [
     "simulate_success_probability",
     "simulate_curve",
     "simulate_grid",
+    "simulate_full_grid",
     "DEFAULT_MAX_ADAPTIVE_TRIALS",
+    "site_stratum_weights",
+    "hub_stratum_weights",
+    "one_hub_conditional_success",
+    "endpoint_dead_conditional_mean",
+    "allocate_stratum_trials",
+    "sample_conditional_failure_matrix",
+    "stratified_grid",
+    "stratified_success_probability",
     "sample_failure_matrix",
     "failure_rank_matrix",
     "failure_matrix_at",

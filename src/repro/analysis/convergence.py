@@ -15,7 +15,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.exact import success_probability
-from repro.analysis.montecarlo import simulate_grid, simulate_success_probability
+from repro.analysis.montecarlo import (
+    simulate_full_grid,
+    simulate_grid,
+    simulate_success_probability,
+)
 from repro.simkit.rng import spawn_seedseq
 
 
@@ -70,44 +74,70 @@ def mean_absolute_deviation_grid(
     target_half_width: float | None = None,
     confidence: float = 0.95,
     max_iterations: int | None = None,
+    method: str = "crn",
 ) -> dict[int, float]:
     """MAD for *every* ``f`` in one sweep over the common-random-numbers kernel.
 
-    One :func:`~repro.analysis.montecarlo.simulate_grid` call per N serves
-    the whole f-family from a single sampling pass, so versus
-    :func:`mean_absolute_deviation` per f this pays the sampling cost once
-    instead of ``len(f_values)`` times.  With ``seed``, every N gets its own
-    spawned stream keyed by ``n`` alone, so estimates for any subset of
-    ``f_values`` reproduce the corresponding slice of the full sweep.
+    With ``seed``, the entire (N, f) grid runs as **one** padded tensor
+    pass (:func:`~repro.analysis.montecarlo.simulate_full_grid` with
+    explicit per-N streams): every N's rows stack into shared kernel
+    calls, so a full Figure 3 column costs a handful of kernel
+    invocations instead of one sweep per N.  The per-N streams keep the
+    historical ``mad-grid/n={n}`` keys, so results are byte-identical to
+    the per-N loop this replaced, and any subset of ``f_values``
+    reproduces its slice of the full sweep.  A shared ``rng`` falls back
+    to the sequential per-N loop (its draws are order-dependent by
+    definition).
 
     ``target_half_width`` switches the kernel to adaptive-stopping mode:
-    each (N, f) cell samples until its Wilson interval at ``confidence``
-    reaches the target (``iterations`` becomes the first-batch floor,
+    each (N, f) cell samples until its interval at ``confidence`` reaches
+    the target (``iterations`` becomes the first-batch floor,
     ``max_iterations`` the per-N budget), so the MAD is computed over
     estimates of uniform precision instead of uniform trial count.
+    ``method`` selects the estimator exactly as on
+    :func:`~repro.analysis.montecarlo.simulate_grid` (``"crn"``,
+    ``"stratified"``, ``"stratified-cv"``).
     """
     _require_one_stream(rng, seed)
     if not f_values:
         raise ValueError("f_values must name at least one failure count")
-    deviations: dict[int, list[float]] = {f: [] for f in f_values}
+    per_n_fs: dict[int, tuple[int, ...]] = {}
     for n in range(max(2, min(f_values) + 1), n_max + 1):
         fs = tuple(f for f in f_values if n >= max(2, f + 1))
-        if not fs:
-            continue
-        stream = (
-            rng
-            if rng is not None
-            else np.random.default_rng(spawn_seedseq(seed, f"mad-grid/n={n}"))
-        )
-        estimates = simulate_grid(
-            n,
-            fs,
+        if fs:
+            per_n_fs[n] = fs
+    deviations: dict[int, list[float]] = {f: [] for f in f_values}
+    if seed is not None and per_n_fs:
+        streams = {
+            n: np.random.default_rng(spawn_seedseq(seed, f"mad-grid/n={n}")) for n in per_n_fs
+        }
+        grid = simulate_full_grid(
+            tuple(per_n_fs),
+            per_n_fs,
             iterations,
-            rng=stream,
+            rngs=streams,
             target_half_width=target_half_width,
             confidence=confidence,
             max_iterations=max_iterations,
+            method=method,
         )
+        estimates_by_n = {n: grid[n] for n in per_n_fs}
+    else:
+        estimates_by_n = {
+            n: simulate_grid(
+                n,
+                fs,
+                iterations,
+                rng=rng,
+                target_half_width=target_half_width,
+                confidence=confidence,
+                max_iterations=max_iterations,
+                method=method,
+            )
+            for n, fs in per_n_fs.items()
+        }
+    for n, fs in per_n_fs.items():
+        estimates = estimates_by_n[n]
         for f in fs:
             point = estimates[f].point if target_half_width is not None else estimates[f]
             deviations[f].append(abs(point - success_probability(n, f)))

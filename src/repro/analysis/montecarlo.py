@@ -185,7 +185,9 @@ def failure_matrix_at(ranks: np.ndarray, f: int) -> np.ndarray:
     return ranks < f
 
 
-def connectivity_levels(component_keys: np.ndarray, two_hop: bool = True) -> np.ndarray:
+def connectivity_levels(
+    component_keys: np.ndarray, two_hop: bool = True, widths: np.ndarray | None = None
+) -> np.ndarray:
     """Per row: the largest failure count ``f`` at which the pair survives.
 
     The DRS pair predicate is monotone (failing more components never
@@ -210,6 +212,14 @@ def connectivity_levels(component_keys: np.ndarray, two_hop: bool = True) -> np.
     This is the one-pass form of evaluating :func:`pair_connected_vec` at
     every ``f`` over the shared draw (``connectivity_levels(ranks) >= f``
     equals ``pair_connected_vec(ranks < f)`` exactly).
+
+    ``widths`` enables the padded full-grid tensor pass
+    (:func:`simulate_full_grid`): rows from clusters of different sizes are
+    stacked into one matrix at the widest cluster's ``2N + 2``, each row
+    right-padded past its own true width.  Padded columns are masked out of
+    both the intermediate-router term and the final rank count, so each
+    row's threshold is computed exactly as if it were evaluated at its own
+    width — one kernel call serves every N at once.
     """
     k = component_keys
     direct0 = np.minimum(np.minimum(k[:, 0], k[:, 2]), k[:, 4])
@@ -217,11 +227,19 @@ def connectivity_levels(component_keys: np.ndarray, two_hop: bool = True) -> np.
     critical = np.maximum(direct0, direct1)
     if two_hop and k.shape[1] > 6:
         # Best intermediate: needs both of its NICs; any one suffices.
-        inter = np.minimum(k[:, 6::2], k[:, 7::2]).max(axis=1)
+        pair_min = np.minimum(k[:, 6::2], k[:, 7::2])
+        if widths is not None:
+            widths = np.asarray(widths)
+            real = np.arange(pair_min.shape[1])[None, :] < (widths[:, None] - 6) // 2
+            pair_min = np.where(real, pair_min, -np.inf)
+        inter = pair_min.max(axis=1)
         both_hubs = np.minimum(k[:, 0], k[:, 1])
         crossed = np.maximum(np.minimum(k[:, 2], k[:, 5]), np.minimum(k[:, 3], k[:, 4]))
         critical = np.maximum(critical, np.minimum(np.minimum(both_hubs, inter), crossed))
-    return (k < critical[:, None]).sum(axis=1)
+    below = k < critical[:, None]
+    if widths is not None:
+        below &= np.arange(k.shape[1])[None, :] < np.asarray(widths)[:, None]
+    return below.sum(axis=1)
 
 
 def _grid_sweep(
@@ -333,6 +351,293 @@ def _grid_sweep(
     return {f: int(survivors[f]) / iterations for f in fs}
 
 
+class _SweepGroup:
+    """One cluster size's state inside the padded multi-N sweep engine.
+
+    ``hists`` holds one accumulated level histogram per named *track*
+    (``"surv"`` for breakdown thresholds; the stratified estimator adds
+    ``"dead"`` for endpoint-death ranks); ``meta`` is free-form per-group
+    state for the cell builder (exact stratum constants, topology label).
+    """
+
+    __slots__ = ("n", "width", "rng", "fs", "hists", "frozen", "trials", "meta")
+
+    def __init__(
+        self,
+        n: int,
+        width: int,
+        rng: np.random.Generator,
+        fs: tuple[int, ...],
+        tracks: tuple[str, ...] = ("surv",),
+        meta: dict | None = None,
+    ) -> None:
+        self.n = n
+        self.width = width
+        self.rng = rng
+        self.fs = tuple(fs)
+        self.hists = {track: np.zeros(width + 1, dtype=np.int64) for track in tracks}
+        self.frozen: dict[int, CellPrecision] = {}
+        self.trials = 0
+        self.meta = meta or {}
+
+
+def _padded_sweep(
+    groups: list[_SweepGroup],
+    levels_from_keys,
+    cell_from_group,
+    iterations: int,
+    batch: int,
+    target_half_width: float | None,
+    confidence: float,
+    max_iterations: int | None,
+    precision: bool,
+    pad_value: float = 1.5,
+) -> dict[int, dict[int, float]] | dict[int, dict[int, CellPrecision]]:
+    """The padded full-grid tensor loop behind :func:`simulate_full_grid`.
+
+    Each round stacks one ``(size, width_n)`` uniform draw per still-active
+    group into a single ``(len(active) * size, max_width)`` matrix (padded
+    with ``pad_value``, which sorts above every real key so padded columns
+    can never fall below a breakdown threshold), reduces the whole stack
+    with **one** call to ``levels_from_keys(keys, widths) -> {track:
+    levels}``, and folds each group's slice into its per-track histograms.
+    The f-grid of every N then reads off those histograms — the entire
+    (N, f) grid costs a handful of kernel calls per round instead of one
+    sweep per N.
+
+    Reproducibility: each group draws ``(size, width)`` blocks from *its
+    own* stream under the same round schedule :func:`_grid_sweep` uses
+    (the schedule depends only on shared totals, never on which cells are
+    open), and a group stops drawing exactly when its solo run would have
+    stopped — so every group's draws, counts, and frozen cells are
+    byte-identical to a per-N :func:`simulate_grid` run on the same
+    stream.  Adaptive stopping, ``precision=True``, flight events, and the
+    validation contract mirror :func:`_grid_sweep` exactly.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    for group in groups:
+        if len(group.fs) == 0:
+            raise ValueError("fs must name at least one failure count")
+    adaptive = target_half_width is not None
+    if adaptive:
+        if target_half_width <= 0:
+            raise ValueError(f"target_half_width must be positive, got {target_half_width}")
+        if max_iterations is None:
+            max_iterations = DEFAULT_MAX_ADAPTIVE_TRIALS
+        if max_iterations < iterations:
+            raise ValueError(
+                f"max_iterations must be >= iterations ({iterations}), got {max_iterations}"
+            )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    budget = max_iterations if adaptive else iterations
+    total = 0
+    drawn = 0
+    active = list(groups)
+    started = perf_counter()
+    while active and total < budget:
+        if adaptive:
+            size = min(iterations if total == 0 else total, batch, budget - total)
+        else:
+            size = min(budget - total, batch)
+        width_max = max(group.width for group in active)
+        keys = np.full((len(active) * size, width_max), pad_value)
+        widths = np.empty(len(active) * size, dtype=np.int64)
+        for i, group in enumerate(active):
+            rows = slice(i * size, (i + 1) * size)
+            keys[rows, : group.width] = group.rng.random((size, group.width))
+            widths[rows] = group.width
+        levels = levels_from_keys(keys, widths)
+        for i, group in enumerate(active):
+            rows = slice(i * size, (i + 1) * size)
+            for track, values in levels.items():
+                group.hists[track] += np.bincount(values[rows], minlength=group.width + 1)
+            group.trials = total + size
+        total += size
+        drawn += size * len(active)
+        hb = heartbeat()
+        if hb is not None:
+            hb.add(size * len(active))
+        recording = flight_recorder() is not None
+        elapsed = perf_counter() - started
+        if adaptive:
+            exhausted = total >= budget
+            for group in active:
+                for f in group.fs:
+                    if f in group.frozen:
+                        continue
+                    cell = cell_from_group(group, f, elapsed)
+                    if cell.met_target or exhausted:
+                        group.frozen[f] = cell
+                    if recording:
+                        publish_cell_precision(cell, done=f in group.frozen)
+            active = [g for g in active if len(g.frozen) < len(set(g.fs))]
+        elif recording:
+            for group in active:
+                for f in group.fs:
+                    publish_cell_precision(cell_from_group(group, f, elapsed), done=total >= budget)
+    publish_mc_throughput(drawn, perf_counter() - started)
+    elapsed = perf_counter() - started
+    results: dict[int, dict] = {}
+    for group in groups:
+        if adaptive:
+            results[group.n] = {f: group.frozen[f] for f in group.fs}
+        elif precision:
+            results[group.n] = {f: cell_from_group(group, f, elapsed) for f in group.fs}
+        else:
+            results[group.n] = {f: cell_from_group(group, f, elapsed).point for f in group.fs}
+    return results
+
+
+def _resolve_grid_streams(
+    ns: tuple[int, ...],
+    rng: np.random.Generator | None,
+    seed: int | None,
+    rngs: dict[int, np.random.Generator] | None,
+    key: str,
+) -> dict[int, np.random.Generator]:
+    """Per-N streams for the full-grid estimators.
+
+    ``seed`` spawns one independent child per N keyed exactly like the
+    per-N estimator (``{key}/n={n}``), so any (N, f)-subset slice of the
+    full grid reproduces the corresponding per-N runs byte for byte.
+    ``rngs`` supplies explicit per-N generators (the convergence study
+    threads its own legacy stream keys through this).  A bare ``rng`` is a
+    single shared stream consumed by the active groups in N order each
+    round — deterministic, but not sliceable.
+    """
+    given = [name for name, value in (("rng", rng), ("seed", seed), ("rngs", rngs)) if value is not None]
+    if len(given) > 1:
+        raise TypeError(f"pass either rng=, seed=, or rngs=, not both {given[0]}= and {given[1]}=")
+    if rngs is not None:
+        missing = [n for n in ns if n not in rngs]
+        if missing:
+            raise ValueError(f"rngs must cover every n in ns; missing n={missing[0]}")
+        return {n: rngs[n] for n in ns}
+    if rng is not None:
+        return {n: rng for n in ns}
+    if seed is None:
+        raise TypeError("pass either rng= or seed=")
+    return {n: np.random.default_rng(spawn_seedseq(seed, f"{key}/n={n}")) for n in ns}
+
+
+def _full_grid_fs(ns: tuple[int, ...], fs) -> dict[int, tuple[int, ...]]:
+    """Normalize ``fs`` (one tuple, or a per-N mapping) and validate ranges."""
+    if len(ns) == 0:
+        raise ValueError("ns must name at least one cluster size")
+    if len(set(ns)) != len(ns):
+        raise ValueError(f"ns must be unique, got {ns}")
+    per_n = dict(fs) if isinstance(fs, dict) else {n: tuple(fs) for n in ns}
+    for n in ns:
+        if n < 2:
+            raise ValueError(f"need n >= 2, got {n}")
+        if n not in per_n:
+            raise ValueError(f"fs must cover every n in ns; missing n={n}")
+        width = 2 * n + 2
+        for f in per_n[n]:
+            if not 0 <= f <= width:
+                raise ValueError(f"f must be in [0, {width}], got {f}")
+    return {n: tuple(per_n[n]) for n in ns}
+
+
+def simulate_full_grid(
+    ns: tuple[int, ...],
+    fs,
+    iterations: int,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    two_hop: bool = True,
+    batch: int = 200_000,
+    target_half_width: float | None = None,
+    confidence: float = 0.95,
+    max_iterations: int | None = None,
+    precision: bool = False,
+    method: str = "crn",
+    rngs: dict[int, np.random.Generator] | None = None,
+) -> dict[int, dict[int, float]] | dict[int, dict[int, CellPrecision]]:
+    """Monte Carlo P[Success] over the *entire* (N, f) grid in padded passes.
+
+    The figure-2/figure-3 workhorse: instead of one CRN sweep per N, every
+    cluster size's key matrix is stacked (right-padded to the widest
+    ``2N + 2``) into one tensor per round, and a single widths-masked
+    kernel call (:func:`connectivity_levels` with ``widths``) reduces the
+    whole stack to breakdown thresholds — the full grid costs a handful of
+    kernel calls per sampling round.
+
+    ``fs`` is one failure-count tuple shared by every N, or a mapping
+    ``{n: fs}`` for per-N domains (the paper grid's ``f < N`` restriction).
+    ``method`` selects the estimator: ``"crn"`` (crude common-random-
+    numbers frequency counting), ``"stratified"`` (hub-state
+    stratification: the closed-form strata of Equation 1 absorb the hub
+    dimension and only the both-hubs-up stratum is sampled, over NIC-only
+    keys), or ``"stratified-cv"`` (stratified plus the endpoint-dead
+    control variate) — see :mod:`repro.analysis.variance` and
+    docs/model.md §11.
+
+    Reproducibility: with ``seed``, stream keys match the per-N estimators
+    (``mc-grid/n={n}`` for ``"crn"`` — exactly :func:`simulate_grid`'s —
+    and ``mc-strat/n={n}`` for the stratified methods, matching
+    :func:`repro.analysis.variance.stratified_grid`), and the shared round
+    schedule consumes each stream identically to the per-N run, so any
+    (N, f)-subset slice of the result is **byte-identical** to the
+    corresponding per-N calls.  Adaptive stopping (``target_half_width``),
+    ``precision=True``, and the returned shapes follow
+    :func:`simulate_grid`, one inner dict per N: ``{n: {f: ...}}``.
+    """
+    ns = tuple(ns)
+    per_n_fs = _full_grid_fs(ns, fs)
+    if method in ("stratified", "stratified-cv"):
+        from repro.analysis.variance import _stratified_full_grid
+
+        streams = _resolve_grid_streams(ns, rng, seed, rngs, "mc-strat")
+        return _stratified_full_grid(
+            ns,
+            per_n_fs,
+            streams,
+            iterations,
+            two_hop,
+            batch,
+            method == "stratified-cv",
+            target_half_width,
+            confidence,
+            max_iterations,
+            precision,
+        )
+    if method != "crn":
+        raise ValueError(
+            f"method must be 'crn', 'stratified', or 'stratified-cv', got {method!r}"
+        )
+    streams = _resolve_grid_streams(ns, rng, seed, rngs, "mc-grid")
+    groups = [_SweepGroup(n, 2 * n + 2, streams[n], per_n_fs[n]) for n in ns]
+
+    def levels(keys: np.ndarray, widths: np.ndarray) -> dict[str, np.ndarray]:
+        return {"surv": connectivity_levels(keys, two_hop=two_hop, widths=widths)}
+
+    def cell(group: _SweepGroup, f: int, elapsed: float) -> CellPrecision:
+        return CellPrecision.from_counts(
+            group.n,
+            f,
+            int(group.hists["surv"][f:].sum()),
+            group.trials,
+            confidence=confidence,
+            target_half_width=target_half_width,
+            elapsed_s=elapsed,
+        )
+
+    return _padded_sweep(
+        groups,
+        levels,
+        cell,
+        iterations,
+        batch,
+        target_half_width,
+        confidence,
+        max_iterations,
+        precision,
+    )
+
+
 def simulate_grid(
     n: int,
     fs: tuple[int, ...],
@@ -345,6 +650,7 @@ def simulate_grid(
     confidence: float = 0.95,
     max_iterations: int | None = None,
     precision: bool = False,
+    method: str = "crn",
 ) -> dict[int, float] | dict[int, CellPrecision]:
     """Monte Carlo P[Success] at one N for *every* ``f`` in ``fs`` at once.
 
@@ -385,7 +691,36 @@ def simulate_grid(
     — no matter how the adaptive schedule chunked the draws.  Every cell
     snapshot is published as a ``stats.cell`` flight event when a recorder
     is installed.
+
+    ``method`` upgrades the estimator in place: ``"stratified"`` and
+    ``"stratified-cv"`` dispatch to
+    :func:`repro.analysis.variance.stratified_grid` (hub-state
+    stratification, optionally with the endpoint-dead control variate) —
+    same call shape, same return shapes, its own ``mc-strat/n={n}`` stream
+    key, and stratified intervals in place of Wilson wherever a cell is no
+    longer a plain binomial proportion.
     """
+    if method in ("stratified", "stratified-cv"):
+        from repro.analysis.variance import stratified_grid
+
+        return stratified_grid(
+            n,
+            fs,
+            iterations,
+            rng=rng,
+            seed=seed,
+            two_hop=two_hop,
+            batch=batch,
+            control_variate=method == "stratified-cv",
+            target_half_width=target_half_width,
+            confidence=confidence,
+            max_iterations=max_iterations,
+            precision=precision,
+        )
+    if method != "crn":
+        raise ValueError(
+            f"method must be 'crn', 'stratified', or 'stratified-cv', got {method!r}"
+        )
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
     if len(fs) == 0:

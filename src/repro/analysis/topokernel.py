@@ -41,7 +41,13 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.analysis.montecarlo import _grid_sweep, _resolve_rng
+from repro.analysis.montecarlo import DEFAULT_MAX_ADAPTIVE_TRIALS, _grid_sweep, _resolve_rng
+from repro.analysis.stats import wilson_interval
+from repro.analysis.variance import (
+    _round_allocations,
+    allocate_stratum_trials,
+    site_stratum_weights,
+)
 from repro.obs.flightrecorder import flight_recorder
 from repro.obs.precision import CellPrecision, publish_cell_precision
 from repro.obs.profiler import publish_mc_throughput
@@ -306,6 +312,157 @@ def simulate_topology_success(
     return good / iterations
 
 
+def _topology_stratified_sweep(
+    topology: Topology,
+    fs: tuple[int, ...],
+    iterations: int,
+    rng: np.random.Generator,
+    batch: int,
+    target_half_width: float | None,
+    confidence: float,
+    max_iterations: int | None,
+    precision: bool,
+    predicate: ConnectivityPredicate | None,
+) -> dict[int, float] | dict[int, CellPrecision]:
+    """Stratified CRN sweep conditioning on the declared strata sites.
+
+    Strata are "exactly ``j`` of the topology's
+    :attr:`~repro.topology.model.Topology.strata_sites` failed"
+    (``j in [0, s]``), with exact hypergeometric weights per ``f``
+    (:func:`repro.analysis.variance.site_stratum_weights`).  Each stratum
+    keeps its own spawned stream and its own common-random-numbers pass:
+    a row picks which ``j`` strata sites fail (uniformly, via their own
+    key order), those columns' keys are shifted down by 2 (failed before
+    anything else) and the surviving strata sites' up by 2 (never fail),
+    so the level-``f`` failure set is the ``j`` chosen sites plus the
+    ``f - j`` highest-priority other sites — a draw from the conditional
+    distribution for *every* ``f >= j`` at once, nested in ``f``.  The
+    breakdown-threshold reduction then proceeds exactly as in the crude
+    sweep.
+
+    Trials are split per round proportional to each stratum's largest
+    weight over the f-grid — strict one-each apportionment on the first
+    round (:func:`repro.analysis.variance.allocate_stratum_trials`, whose
+    budget check doubles as the input hardening), largest-remainder
+    rounding afterwards.  The combined cell interval sums stratum
+    half-widths in quadrature scaled by their weights; cells publish with
+    ``method="stratified"``.  Unlike the single-sampled-stratum dual-hub
+    path, per-round rounding couples the strata, so adaptive runs are
+    *not* promised byte-identical to fixed-count reruns cell by cell.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if len(fs) == 0:
+        raise ValueError("fs must name at least one failure count")
+    adaptive = target_half_width is not None
+    if adaptive:
+        if target_half_width <= 0:
+            raise ValueError(f"target_half_width must be positive, got {target_half_width}")
+        if max_iterations is None:
+            max_iterations = DEFAULT_MAX_ADAPTIVE_TRIALS
+        if max_iterations < iterations:
+            raise ValueError(
+                f"max_iterations must be >= iterations ({iterations}), got {max_iterations}"
+            )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    width = topology.width
+    positions = np.array(topology.strata_positions(), dtype=np.int64)
+    strata = len(positions)
+    weights_by_f = {f: site_stratum_weights(width, strata, f) for f in fs}
+    scores = [max(weights_by_f[f][j] for f in fs) for j in range(strata + 1)]
+    stratum_rngs = rng.spawn(strata + 1)
+    survivors = [np.zeros(width + 1, dtype=np.int64) for _ in range(strata + 1)]
+    trials = [0] * (strata + 1)
+    n_label = _cell_n(topology)
+    total = 0
+    budget = max_iterations if adaptive else iterations
+    frozen: dict[int, CellPrecision] = {}
+    started = perf_counter()
+
+    def cell_at(f: int) -> CellPrecision:
+        point = 0.0
+        half_sq = 0.0
+        successes = 0
+        for j in range(strata + 1):
+            weight = weights_by_f[f][j]
+            if weight == 0.0 or trials[j] == 0:
+                continue
+            alive = int(survivors[j][f:].sum())
+            interval = wilson_interval(alive, trials[j], confidence)
+            point += weight * interval.point
+            half_sq += (weight * interval.half_width) ** 2
+            successes += alive
+        return CellPrecision.from_stratified(
+            n_label,
+            f,
+            successes,
+            total,
+            point=point,
+            half_width=float(np.sqrt(half_sq)),
+            confidence=confidence,
+            target_half_width=target_half_width,
+            elapsed_s=perf_counter() - started,
+            topology=topology.name,
+            method="stratified",
+        )
+
+    first_round = True
+    while total < budget:
+        if adaptive:
+            size = min(iterations if total == 0 else total, batch, budget - total)
+        else:
+            size = min(budget - total, batch)
+        if first_round:
+            allocations = allocate_stratum_trials(size, scores)
+            first_round = False
+        else:
+            allocations = _round_allocations(size, scores)
+        for j, count in enumerate(allocations):
+            if count == 0:
+                continue
+            u = stratum_rngs[j].random((count, width))
+            keys = u.copy()
+            keys[:, positions] = u[:, positions] + 2.0  # surviving strata sites never fail
+            if j > 0:
+                if j == len(positions):
+                    chosen = np.broadcast_to(positions, (count, j))
+                else:
+                    picks = np.argpartition(u[:, positions], j - 1, axis=1)[:, :j]
+                    chosen = positions[picks]
+                rows = np.arange(count)[:, None]
+                keys[rows, chosen] = u[rows, chosen] - 2.0  # chosen sites fail first
+            levels = topology_connectivity_levels(topology, keys, predicate)
+            survivors[j] += np.bincount(levels, minlength=width + 1)
+            trials[j] += count
+        total += size
+        hb = heartbeat()
+        if hb is not None:
+            hb.add(size)
+        recording = flight_recorder() is not None
+        if adaptive:
+            exhausted = total >= budget
+            for f in fs:
+                if f in frozen:
+                    continue
+                cell = cell_at(f)
+                if cell.met_target or exhausted:
+                    frozen[f] = cell
+                if recording:
+                    publish_cell_precision(cell, done=f in frozen)
+            if len(frozen) == len(set(fs)):
+                break
+        elif recording:
+            for f in fs:
+                publish_cell_precision(cell_at(f), done=total >= budget)
+    publish_mc_throughput(total, perf_counter() - started)
+    if adaptive:
+        return {f: frozen[f] for f in fs}
+    if precision:
+        return {f: cell_at(f) for f in fs}
+    return {f: cell_at(f).point for f in fs}
+
+
 def simulate_topology_grid(
     topology: Topology,
     fs: tuple[int, ...],
@@ -318,6 +475,7 @@ def simulate_topology_grid(
     confidence: float = 0.95,
     max_iterations: int | None = None,
     precision: bool = False,
+    method: str = "crn",
 ) -> dict[int, float] | dict[int, CellPrecision]:
     """The CRN sweep over one topology: every ``f`` from one sampling pass.
 
@@ -329,7 +487,65 @@ def simulate_topology_grid(
     topology name alone, so any f-subset reproduces its slice of the full
     sweep, and the dual-hub topology's fast path replays the specialized
     kernel's byte-identical stream.
+
+    ``method="stratified"`` conditions sampling on the topology's declared
+    :attr:`~repro.topology.model.Topology.strata_sites` — through the
+    family's attached specialized kernel when one exists (the dual-hub
+    builder wires :func:`repro.analysis.variance.stratified_grid`), else
+    through the generic :func:`_topology_stratified_sweep` (stream key
+    ``topo-strat/{name}``, uniform failure weights only).
+    ``method="stratified-cv"`` additionally requires the specialized
+    kernel (control variates are family-specific closed forms).
     """
+    if method in ("stratified", "stratified-cv"):
+        if predicate is None and topology.stratified_fn is not None:
+            return topology.stratified_fn(
+                fs=tuple(fs),
+                iterations=iterations,
+                rng=rng,
+                seed=seed,
+                batch=batch,
+                control_variate=method == "stratified-cv",
+                target_half_width=target_half_width,
+                confidence=confidence,
+                max_iterations=max_iterations,
+                precision=precision,
+            )
+        if method == "stratified-cv":
+            raise ValueError(
+                f"method 'stratified-cv' needs a topology with an attached stratified "
+                f"kernel; {topology.name!r} has none (use method='stratified')"
+            )
+        if not topology.strata_positions():
+            raise ValueError(
+                f"topology {topology.name!r} declares no strata_sites; stratified "
+                f"sampling needs them (use method='crn')"
+            )
+        if topology.weights is not None:
+            raise ValueError(
+                f"stratified sampling requires uniform failure weights; topology "
+                f"{topology.name!r} declares per-site weights"
+            )
+        for f in fs:
+            topology.validate_f(f)
+        require_baseline_connectivity(topology, predicate)
+        rng = _resolve_rng(rng, seed, f"topo-strat/{topology.name}")
+        return _topology_stratified_sweep(
+            topology,
+            tuple(fs),
+            iterations,
+            rng,
+            batch,
+            target_half_width,
+            confidence,
+            max_iterations,
+            precision,
+            predicate,
+        )
+    if method != "crn":
+        raise ValueError(
+            f"method must be 'crn', 'stratified', or 'stratified-cv', got {method!r}"
+        )
     for f in fs:
         topology.validate_f(f)
     require_baseline_connectivity(topology, predicate)

@@ -171,6 +171,9 @@ def collect_precision_cells(values: dict[str, Any], prefix: str = "mc/n=") -> li
             }
             if entry.get("topology") is not None:
                 cell["topology"] = entry["topology"]
+            cell["method"] = str(entry.get("method", "wilson"))
+            if entry.get("std_error") is not None:
+                cell["std_error"] = float(entry["std_error"])
             cells.append(cell)
     return cells
 
@@ -199,7 +202,7 @@ def add_precision_artifacts(
     report = precision_report(cells, target=target)
     result.add_table(
         "mc_precision",
-        ["n", "f", "p", "ci_low", "ci_high", "trials", "half_width", "met_target"],
+        ["n", "f", "p", "ci_low", "ci_high", "trials", "half_width", "met_target", "method"],
         [
             [
                 c["n"],
@@ -210,10 +213,11 @@ def add_precision_artifacts(
                 int(c["trials"]),
                 float(c["half_width"]),
                 bool(c.get("met", False)) if target is not None else "-",
+                str(c.get("method", "wilson")),
             ]
             for c in sorted(cells, key=lambda c: (c["n"], c["f"]))
         ],
-        caption=f"Per-cell Wilson intervals at {confidence:.3g} confidence",
+        caption=f"Per-cell confidence intervals at {confidence:.3g} confidence",
     )
     block = {k: v for k, v in report.items() if k != "worst_cells"}
     block["confidence"] = confidence

@@ -46,6 +46,7 @@ def _mc_curve(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[
     """
     rng = np.random.default_rng(seed_seq)
     target = params.get("target_ci")
+    method = params.get("method", "crn")
     if target is not None:
         cells = simulate_grid(
             params["n"],
@@ -54,9 +55,12 @@ def _mc_curve(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict[
             rng,
             target_half_width=target,
             confidence=params.get("ci_confidence", 0.95),
+            method=method,
         )
         return {str(f): cell.to_row() for f, cell in cells.items()}
-    estimates = simulate_grid(params["n"], tuple(params["fs"]), params["iterations"], rng)
+    estimates = simulate_grid(
+        params["n"], tuple(params["fs"]), params["iterations"], rng, method=method
+    )
     return {str(f): p for f, p in estimates.items()}
 
 
@@ -67,13 +71,17 @@ def build_plan(
     seed: int = 2000,
     target_ci: float | None = None,
     ci_confidence: float = 0.95,
+    mc_method: str = "crn",
 ) -> JobPlan:
     """Decompose Figure 2 into one curve-level Monte Carlo job per N.
 
     The Equation-1 curves are closed-form and cheap; they are computed in
     the reduction rather than shipped as jobs.  With ``target_ci``, each
     job samples adaptively: ``mc_iterations`` becomes the first-batch
-    floor and every (N, f) cell stops at that Wilson half-width.
+    floor and every (N, f) cell stops at that interval half-width.
+    ``mc_method`` selects the overlay estimator (``"crn"``,
+    ``"stratified"``, or ``"stratified-cv"`` — see
+    :func:`repro.analysis.montecarlo.simulate_grid`).
     """
     jobs = []
     if mc_iterations > 0:
@@ -83,6 +91,8 @@ def build_plan(
             if target_ci is not None:
                 params["target_ci"] = target_ci
                 params["ci_confidence"] = ci_confidence
+            if mc_method != "crn":
+                params["method"] = mc_method
             jobs.append(Job(name=f"mc/n={n}", fn=_mc_curve, params=params))
 
     def reduce(values: dict[str, Any]) -> ExperimentResult:
@@ -92,6 +102,7 @@ def build_plan(
             "f_values": list(f_values),
             "n_max": n_max,
             "mc_iterations": mc_iterations,
+            "mc_method": mc_method,
         }
         if target_ci is not None:
             result.meta["target_ci"] = target_ci
@@ -157,6 +168,7 @@ def run(
     seed: int = 2000,
     target_ci: float | None = None,
     ci_confidence: float = 0.95,
+    mc_method: str = "crn",
     executor: Any | None = None,
     checkpoint: Any | None = None,
 ) -> ExperimentResult:
@@ -164,9 +176,11 @@ def run(
 
     ``mc_iterations > 0`` adds a Monte Carlo overlay series per f (the
     paper's simulation points).  ``target_ci`` switches the overlay to
-    adaptive stopping — every cell samples until its Wilson half-width at
-    ``ci_confidence`` reaches the target — and adds the ``mc_precision``
-    table plus a manifest precision block.  ``executor`` selects the engine
+    adaptive stopping — every cell samples until its interval half-width
+    at ``ci_confidence`` reaches the target — and adds the
+    ``mc_precision`` table plus a manifest precision block.  ``mc_method``
+    selects the overlay estimator (``"stratified"``/``"stratified-cv"``
+    for the variance-reduced kernels).  ``executor`` selects the engine
     backend (default serial); results are executor-independent.
     ``checkpoint`` streams completed jobs for crash-safe ``--resume``.
     """
@@ -177,6 +191,7 @@ def run(
         seed=seed,
         target_ci=target_ci,
         ci_confidence=ci_confidence,
+        mc_method=mc_method,
     )
     return run_plan(plan, executor, checkpoint=checkpoint)
 

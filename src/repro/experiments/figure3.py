@@ -61,6 +61,7 @@ def _mad_column(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dic
         iters,
         n_max=params["n_max"],
         seed=seed_fingerprint(seed_seq),
+        method=params.get("method", "crn"),
         **adaptive,
     )
     return {str(f): mad for f, mad in mads.items()}
@@ -73,11 +74,14 @@ def build_plan(
     seed: int = 2000,
     target_ci: float | None = None,
     ci_confidence: float = 0.95,
+    mc_method: str = "crn",
 ) -> JobPlan:
     """One curve-family job per iteration count (all f evaluated in-kernel)."""
     extra: dict[str, Any] = {}
     if target_ci is not None:
         extra = {"target_ci": target_ci, "ci_confidence": ci_confidence}
+    if mc_method != "crn":
+        extra["method"] = mc_method
     jobs = [
         Job(
             name=f"mad/iters={iters}",
@@ -104,6 +108,7 @@ def build_plan(
             "f_values": list(f_values),
             "iteration_grid": list(iteration_grid),
             "n_max": n_max,
+            "mc_method": mc_method,
         }
         if target_ci is not None:
             result.meta["target_ci"] = target_ci
@@ -158,14 +163,17 @@ def run(
     seed: int = 2000,
     target_ci: float | None = None,
     ci_confidence: float = 0.95,
+    mc_method: str = "crn",
     executor: Any | None = None,
     checkpoint: Any | None = None,
 ) -> ExperimentResult:
     """Regenerate Figure 3 (executor-independent for a given seed).
 
     ``target_ci`` turns each column's iteration count into an adaptive
-    budget: cells stop sampling early once their Wilson half-width at
+    budget: cells stop sampling early once their interval half-width at
     ``ci_confidence`` reaches the target (see :func:`_mad_column`).
+    ``mc_method`` selects the estimator per column (``"crn"``,
+    ``"stratified"``, ``"stratified-cv"``).
     """
     plan = build_plan(
         f_values=f_values,
@@ -174,6 +182,7 @@ def run(
         seed=seed,
         target_ci=target_ci,
         ci_confidence=ci_confidence,
+        mc_method=mc_method,
     )
     return run_plan(plan, executor, checkpoint=checkpoint)
 

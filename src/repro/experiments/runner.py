@@ -74,6 +74,7 @@ RUN_STATE_FIELDS = (
     "target_ci",
     "ci_confidence",
     "topology",
+    "mc_method",
 )
 
 RUN_STATE_VERSION = 1
@@ -139,6 +140,16 @@ def main(argv: list[str] | None = None) -> int:
         default=0.95,
         metavar="C",
         help="confidence level for --target-ci intervals (default 0.95)",
+    )
+    parser.add_argument(
+        "--mc-method",
+        choices=("crn", "stratified", "stratified-cv"),
+        default=None,
+        metavar="METHOD",
+        help="Monte Carlo estimator for experiments that support it: crn "
+        "(plain common-random-numbers sweep), stratified (hub-state "
+        "stratification), or stratified-cv (stratification plus the "
+        "endpoint-dead control variate; see docs/model.md section 11)",
     )
     parser.add_argument(
         "--retries",
@@ -260,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["ci_confidence"] = args.ci_confidence
         if args.topology is not None and spec.accepts("topology"):
             kwargs["topology"] = args.topology
+        if args.mc_method is not None and spec.accepts("mc_method"):
+            kwargs["mc_method"] = args.mc_method
         if spec.parallel:
             kwargs["executor"] = executor
             if not args.no_checkpoint:

@@ -54,6 +54,7 @@ def _topo_grid(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict
     rng = np.random.default_rng(seed_seq)
     fs = tuple(f for f in params["fs"] if f <= topology.width)
     target = params.get("target_ci")
+    method = params.get("method", "crn")
     if target is not None:
         cells = simulate_topology_grid(
             topology,
@@ -62,9 +63,10 @@ def _topo_grid(params: dict[str, Any], seed_seq: np.random.SeedSequence) -> dict
             rng,
             target_half_width=target,
             confidence=params.get("ci_confidence", 0.95),
+            method=method,
         )
         return {str(f): cell.to_row() for f, cell in cells.items()}
-    estimates = simulate_topology_grid(topology, fs, params["iterations"], rng)
+    estimates = simulate_topology_grid(topology, fs, params["iterations"], rng, method=method)
     return {str(f): p for f, p in estimates.items()}
 
 
@@ -76,6 +78,7 @@ def build_plan(
     seed: int = 2100,
     target_ci: float | None = None,
     ci_confidence: float = 0.95,
+    mc_method: str = "crn",
 ) -> JobPlan:
     """One sweep job per (topology spec, size) grid point."""
     for spec in topologies:
@@ -92,6 +95,8 @@ def build_plan(
             if target_ci is not None:
                 params["target_ci"] = target_ci
                 params["ci_confidence"] = ci_confidence
+            if mc_method != "crn":
+                params["method"] = mc_method
             jobs.append(Job(name=f"mc/{spec}/size={size}", fn=_topo_grid, params=params))
 
     def reduce(values: dict[str, Any]) -> ExperimentResult:
@@ -103,6 +108,7 @@ def build_plan(
             "sizes": list(sizes),
             "f_values": list(f_values),
             "mc_iterations": mc_iterations,
+            "mc_method": mc_method,
         }
         if target_ci is not None:
             result.meta["target_ci"] = target_ci
@@ -183,6 +189,7 @@ def run(
     topology: str | None = None,
     target_ci: float | None = None,
     ci_confidence: float = 0.95,
+    mc_method: str = "crn",
     executor: Any | None = None,
     checkpoint: Any | None = None,
 ) -> ExperimentResult:
@@ -191,7 +198,10 @@ def run(
     ``topology`` (the CLI's ``--topology`` spec string, e.g.
     ``"khub:hubs=3"``) restricts the sweep to one family; otherwise every
     entry of ``topologies`` runs.  ``target_ci`` switches every cell to
-    adaptive Wilson-interval stopping, exactly as in figure2.
+    adaptive interval-targeted stopping, exactly as in figure2.
+    ``mc_method="stratified"`` uses hub/spine/core-state stratification on
+    families that declare strata (``"stratified-cv"`` additionally needs
+    the dual-hub closed-form control variate).
     """
     if topology is not None:
         topologies = (topology,)
@@ -203,6 +213,7 @@ def run(
         seed=seed,
         target_ci=target_ci,
         ci_confidence=ci_confidence,
+        mc_method=mc_method,
     )
     return run_plan(plan, executor, checkpoint=checkpoint)
 

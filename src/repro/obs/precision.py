@@ -46,7 +46,14 @@ class CellPrecision:
     wall time attributed to the cell's row so far.  ``topology`` names the
     topology the cell was estimated over (``None`` for the classic
     dual-hub estimators, which predate the field — every consumer treats
-    the two identically).
+    the two identically).  ``method`` names the estimator the interval
+    came from: ``"wilson"`` (a plain binomial proportion — the default,
+    and what every record before the variance-reduced estimators carried
+    implicitly) or a stratified method (``"stratified"``,
+    ``"stratified-cv"``), where ``low``/``high`` are the combined
+    stratified interval and ``successes``/``trials`` record the sampled
+    stratum's raw counts; ``std_error`` then carries the implied
+    normal-approximation standard error.
     """
 
     n: int
@@ -60,6 +67,8 @@ class CellPrecision:
     target_half_width: float | None = None
     elapsed_s: float = 0.0
     topology: str | None = None
+    method: str = "wilson"
+    std_error: float | None = None
 
     @classmethod
     def from_counts(
@@ -91,6 +100,51 @@ class CellPrecision:
             topology=topology,
         )
 
+    @classmethod
+    def from_stratified(
+        cls,
+        n: int,
+        f: int,
+        successes: int,
+        trials: int,
+        point: float,
+        half_width: float,
+        confidence: float = 0.95,
+        target_half_width: float | None = None,
+        elapsed_s: float = 0.0,
+        topology: str | None = None,
+        method: str = "stratified",
+    ) -> "CellPrecision":
+        """Build the record from a stratified / control-variate estimate.
+
+        ``point`` and ``half_width`` come from the stratified combination
+        (exact strata plus the scaled sampled-stratum interval — see
+        docs/model.md §11), not from a Wilson interval over
+        ``successes``/``trials``; those still record the sampled stratum's
+        raw counts so trials accounting keeps working.  The interval is
+        clipped to [0, 1] — a no-op for the dual-hub estimators, whose
+        combined interval sits inside the unit interval by construction —
+        and ``std_error`` back-solves the implied normal standard error so
+        downstream variance accounting is method-agnostic.
+        """
+        from repro.analysis.stats import _z_for  # no cycle at module load
+
+        return cls(
+            n=n,
+            f=f,
+            successes=successes,
+            trials=trials,
+            confidence=confidence,
+            point=point,
+            low=max(0.0, point - half_width),
+            high=min(1.0, point + half_width),
+            target_half_width=target_half_width,
+            elapsed_s=elapsed_s,
+            topology=topology,
+            method=method,
+            std_error=half_width / _z_for(confidence),
+        )
+
     # --------------------------------------------------------------- derived
     @property
     def half_width(self) -> float:
@@ -118,6 +172,11 @@ class CellPrecision:
         the Wilson width is driven by the z²/trials continuity term, not
         the variance) read as 0 — by design: their width cannot be bought
         down by better sampling, only by more trials.
+
+        Variance-reduced methods (``method != "wilson"``) are *not* capped
+        at 1: beating the binomial floor is exactly what stratification
+        and control variates buy, and the excess over 1 is the observed
+        variance-reduction factor.
         """
         hw = self.half_width
         if hw <= 0 or self.trials <= 0:
@@ -126,7 +185,8 @@ class CellPrecision:
 
         z = _z_for(self.confidence)
         floor = z * z * self.point * (1.0 - self.point) / (hw * hw)
-        return min(1.0, floor / self.trials)
+        ratio = floor / self.trials
+        return ratio if self.method != "wilson" else min(1.0, ratio)
 
     @property
     def met_target(self) -> bool:
@@ -149,6 +209,10 @@ class CellPrecision:
             row["met"] = self.met_target
         if self.topology is not None:
             row["topology"] = self.topology
+        if self.method != "wilson":
+            row["method"] = self.method
+        if self.std_error is not None:
+            row["std_error"] = self.std_error
         return row
 
     def event_fields(self, done: bool = False) -> dict[str, Any]:
@@ -168,6 +232,10 @@ class CellPrecision:
             fields["met"] = self.met_target
         if self.topology is not None:
             fields["topology"] = self.topology
+        if self.method != "wilson":
+            fields["method"] = self.method
+        if self.std_error is not None:
+            fields["std_error"] = round(self.std_error, 10)
         return fields
 
 
@@ -218,6 +286,7 @@ def fold_cells(events: Iterable[Mapping[str, Any]]) -> dict[tuple, dict[str, Any
             "target": event.get("target"),
             "met": bool(event.get("met", False)),
             "done": bool(event.get("done", False)),
+            "method": str(event.get("method", "wilson")),
         }
     return cells
 

@@ -160,6 +160,7 @@ class WatchState:
                 "target": event.get("target"),
                 "met": bool(event.get("met", False)),
                 "done": bool(event.get("done", False)),
+                "method": str(event.get("method", "wilson")),
             }
         elif kind == "run.end":
             self.finished = True
@@ -207,9 +208,11 @@ class WatchState:
             "half_width": worst["half_width"],
             "trials": worst["trials"],
         }
-        # topology-less events keep the legacy payload shape exactly
+        # legacy Wilson-interval events keep the payload shape exactly
         if worst.get("topology") is not None:
             worst_block["topology"] = worst["topology"]
+        if worst.get("method", "wilson") != "wilson":
+            worst_block["method"] = worst["method"]
         return {
             "cells": len(self.cells),
             "done": sum(c["done"] for c in self.cells.values()),
@@ -330,6 +333,8 @@ def render_watch(state: WatchState, color: bool = True) -> str:
         where = f"n={worst['n']}, f={worst['f']}"
         if worst.get("topology"):
             where = f"{worst['topology']}, {where}"
+        if worst.get("method"):
+            where += f", {worst['method']}"
         ci_line = (
             f"ci: {precision['cells']} cell(s), worst half-width "
             f"{worst['half_width']:.2g} ({where}, {worst['trials']:,} trials)"

@@ -74,8 +74,17 @@ def dual_hub_cluster(size: int = 8) -> Topology:
             nic = 2 + 2 * i + j
             edges.append((node0 + i, nic))
             edges.append((nic, j))
+    name = f"dual-hub(n={n})"
+
+    def stratified(**kwargs: Any):
+        # hub-state stratification with closed-form strata (and optionally
+        # the endpoint-dead control variate) — docs/model.md §11
+        from repro.analysis.variance import stratified_grid
+
+        return stratified_grid(n, topology=name, **kwargs)
+
     return Topology(
-        name=f"dual-hub(n={n})",
+        name=name,
         family="dual-hub",
         roles=tuple(roles),
         edges=tuple(edges),
@@ -86,6 +95,8 @@ def dual_hub_cluster(size: int = 8) -> Topology:
         connected_fn=pair_connected_vec,
         levels_fn=connectivity_levels,
         exact_fn=lambda f: exact.success_probability(n, f),
+        strata_sites=(0, 1),
+        stratified_fn=stratified,
     )
 
 
@@ -121,6 +132,7 @@ def k_hub_cluster(size: int = 8, hubs: int = 3, nics: int | None = None) -> Topo
         terminals=tuple(range(node0, node0 + n)),
         predicate=PairConnected(0, 1),
         meta={"n": n, "hubs": hubs, "nics": nics},
+        strata_sites=tuple(range(hubs)),
     )
 
 
@@ -156,6 +168,7 @@ def fat_tree_two_level(size: int = 8, leaves: int = 4, spines: int = 2) -> Topol
         terminals=tuple(range(host0, host0 + hosts)),
         predicate=PairConnected(0, 1),
         meta={"hosts": hosts, "leaves": leaves, "spines": spines},
+        strata_sites=tuple(range(spine0, spine0 + spines)),
     )
 
 
@@ -224,6 +237,7 @@ def fat_tree_three_level(
             "aggs_per_pod": aggs_per_pod,
             "cores": cores,
         },
+        strata_sites=tuple(range(core0, core0 + cores)),
     )
 
 
@@ -276,6 +290,7 @@ def multi_cluster_wan(size: int = 4, clusters: int = 3, hubs: int = 2) -> Topolo
         terminals=tuple(range(node0, node0 + clusters * n)),
         predicate=PairConnected(0, n),  # first node of cluster 0 vs of cluster 1
         meta={"n": n, "clusters": clusters, "hubs": hubs},
+        strata_sites=tuple(range(wan0, wan0 + clusters)),
     )
 
 

@@ -183,6 +183,19 @@ class Topology:
     * ``levels_fn(keys_matrix) -> int vector`` — per-row breakdown
       thresholds over any row-wise comparable key matrix.
     * ``exact_fn(f) -> float`` — closed-form P[Success].
+
+    ``strata_sites`` (optional) names the vertices whose joint failure
+    state stratifies the sampling — the "hubs" of the family, in the
+    dual-hub sense: few, shared, and disproportionately load-bearing.
+    Declaring them opts the topology into the stratified estimators
+    (``method="stratified"`` on
+    :func:`repro.analysis.topokernel.simulate_topology_grid`): trials are
+    allocated across the ``len(strata_sites) + 1`` how-many-strata-sites-
+    failed strata with exact hypergeometric weights.  ``stratified_fn``
+    additionally attaches a family-specialized stratified kernel (the
+    dual-hub builder wires
+    :func:`repro.analysis.variance.stratified_grid`, closed-form strata
+    plus the control variate) that ``method="stratified-cv"`` requires.
     """
 
     name: str
@@ -201,6 +214,8 @@ class Topology:
         default=None, repr=False, compare=False
     )
     exact_fn: Callable[[int], float] | None = field(default=None, repr=False, compare=False)
+    strata_sites: tuple[int, ...] | None = None
+    stratified_fn: Callable[..., Any] | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         v = len(self.roles)
@@ -235,6 +250,17 @@ class Topology:
                 )
             if any(w <= 0 for w in self.weights):
                 raise ValueError("failure weights must be positive")
+        if self.strata_sites is not None:
+            if len(self.strata_sites) == 0:
+                raise ValueError("strata_sites must name at least one failure site (or be None)")
+            if len(set(self.strata_sites)) != len(self.strata_sites):
+                raise ValueError("strata_sites must be unique")
+            sites = set(self.failure_sites)
+            for site in self.strata_sites:
+                if site not in sites:
+                    raise ValueError(
+                        f"stratum site {site} is not a failure site of topology {self.name!r}"
+                    )
 
     # ------------------------------------------------------------------ shape
     @property
@@ -284,6 +310,18 @@ class Topology:
         """Vertex id -> position in the canonical failure-universe order."""
         return {site: i for i, site in enumerate(self.failure_sites)}
 
+    def strata_positions(self) -> tuple[int, ...]:
+        """Stratum sites as positions in the canonical failure-universe order.
+
+        Empty when the topology declares no strata; the stratified sweep
+        kernel conditions on how many of *these columns* of the failure
+        matrix are failed.
+        """
+        if self.strata_sites is None:
+            return ()
+        index = self.site_index()
+        return tuple(index[site] for site in self.strata_sites)
+
     def weight_array(self) -> np.ndarray | None:
         """Per-site weights as an array, or None for the uniform model."""
         return None if self.weights is None else np.asarray(self.weights, dtype=float)
@@ -307,6 +345,7 @@ class Topology:
             "predicate": self.predicate.describe(),
             "roles": self.role_counts(),
             "weighted": self.weights is not None,
+            "strata": 0 if self.strata_sites is None else len(self.strata_sites),
             **{k: v for k, v in self.meta.items() if isinstance(v, (int, float, str, bool))},
         }
 
