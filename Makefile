@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-sweep quick-flight quick-precision quick-topology quick-variance bench-gate examples clean
+.PHONY: install test lint smoke bench experiments experiments-quick quick-parallel quick-resume quick-distributed quick-sweep quick-flight quick-precision quick-topology quick-variance bench-gate examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -64,6 +64,29 @@ quick-resume:
 		cmp results-resume/$$f.csv /tmp/drs-resume-check/$$f.csv || exit 1; \
 	done
 	@echo "quick-resume: OK (killed + resumed run byte-identical to uninterrupted)"
+
+# distributed smoke: the loopback coordinator + 2 spawned workers must
+# reproduce the serial quick figure2 CSVs byte-for-byte, record per-host
+# attribution and worker.join events, and survive a worker killed mid-chunk
+# (crash injection) with the stolen jobs re-executed elsewhere
+quick-distributed:
+	rm -rf /tmp/drs-dist-serial /tmp/drs-dist /tmp/drs-dist-faulty
+	$(PYTHON) -m repro.experiments.runner --quick figure2 --out /tmp/drs-dist-serial
+	$(PYTHON) -m repro.experiments.runner --quick figure2 \
+		--backend distributed --jobs 2 --out /tmp/drs-dist
+	@for f in figure2_equation1 figure2_montecarlo figure2_endpoints; do \
+		cmp /tmp/drs-dist/$$f.csv /tmp/drs-dist-serial/$$f.csv || exit 1; \
+	done
+	grep -q '"kind": "worker.join"' /tmp/drs-dist/figure2.flight.jsonl
+	grep -q '"hosts"' /tmp/drs-dist/figure2.manifest.json
+	DRS_WORKER_CRASH_AFTER_CHUNKS=1 $(PYTHON) -m repro.experiments.runner \
+		--quick figure2 --backend distributed --jobs 2 --out /tmp/drs-dist-faulty
+	@for f in figure2_equation1 figure2_montecarlo figure2_endpoints; do \
+		cmp /tmp/drs-dist-faulty/$$f.csv /tmp/drs-dist-serial/$$f.csv || exit 1; \
+	done
+	grep -q '"kind": "worker.leave"' /tmp/drs-dist-faulty/figure2.flight.jsonl
+	grep -q '"kind": "job.stolen"' /tmp/drs-dist-faulty/figure2.flight.jsonl
+	@echo "quick-distributed: OK (serial/distributed byte-identical, dead worker tolerated)"
 
 # perf smoke: the common-random-numbers sweep kernel must never be slower
 # than per-point estimation (quick profile: reduced iteration count; the

@@ -9,10 +9,12 @@ with cores while staying bit-for-bit reproducible from one integer seed:
 * :mod:`repro.engine.jobs` — :class:`Job` / :class:`JobPlan`: a sweep
   decomposed into independent units, each with a deterministic child seed
   spawned from ``(root seed, experiment, job name)``.
-* :mod:`repro.engine.executors` — :class:`SerialExecutor` (default) and the
+* :mod:`repro.engine.executors` — :class:`SerialExecutor` (default), the
   process-pool :class:`ParallelExecutor` (``drs-experiments --jobs N``),
-  which merges per-worker metrics registries and heartbeat counts back into
-  the parent run.
+  and the multi-host :class:`~repro.engine.distributed.DistributedExecutor`
+  (``--backend distributed`` plus any number of ``drs-worker`` processes);
+  both parallel backends merge per-worker metrics registries and heartbeat
+  counts back into the parent run.
 
 Fault tolerance rides on top (``drs-experiments --retries/--resume``):
 :mod:`repro.engine.retry` gives both executors per-job retry budgets,
@@ -26,9 +28,11 @@ See ``docs/engine.md`` for the seed-spawning contract and worked examples.
 from typing import Any
 
 from repro.engine.checkpoint import Checkpoint, CheckpointRecord
+from repro.engine.distributed import DistributedExecutor
 from repro.engine.executors import (
     ParallelExecutor,
     PlanExecution,
+    PlanInterrupted,
     SerialExecutor,
     make_executor,
 )
@@ -84,6 +88,8 @@ def run_plan(
             "resumed": sorted(execution.resumed),
             "pool_respawns": execution.pool_respawns,
         }
+        if execution.hosts:
+            meta["engine"]["hosts"] = execution.hosts
     return result
 
 
@@ -107,7 +113,9 @@ __all__ = [
     "CheckpointRecord",
     "SerialExecutor",
     "ParallelExecutor",
+    "DistributedExecutor",
     "PlanExecution",
+    "PlanInterrupted",
     "make_executor",
     "run_plan",
 ]

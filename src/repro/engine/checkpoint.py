@@ -1,13 +1,21 @@
 """Crash-safe checkpointing of completed job results.
 
 A long sweep streams every finished job into ``<run>/<name>.checkpoint.jsonl``
-— one JSON record per job, the whole file rewritten via write-temp-then-
-``os.replace`` on each append, so the on-disk artifact is a valid JSONL
-snapshot at every instant, even through ``SIGKILL``.  ``drs-experiments
---resume <run>`` feeds the file back through :meth:`Checkpoint.load`, which
-keeps only records that still match the rebuilt plan (same experiment, same
-root seed, same per-job spawned-seed fingerprint) — so a checkpoint taken
-under one seed can never contaminate a run under another.
+— one JSON record per job, **appended** with a flush+fsync, so persisting a
+record costs O(1) I/O regardless of how many came before it (the first
+implementation rewrote the whole file per record: O(n²) over a plan, which
+a distributed coordinator absorbing chunks from a fleet would feel hardest).
+A torn tail from a crash mid-append is at most one unparseable line, which
+the loader skips; everything before it is intact, so the artifact stays
+loadable through ``SIGKILL`` at any instant.  Superseded duplicates (a job
+re-recorded after a retry or requeue) and foreign lines accumulate as
+*stale* lines; once they outnumber the live records the file is compacted —
+rewritten via write-temp-then-``os.replace`` down to one line per live
+record.  ``drs-experiments --resume <run>`` feeds the file back through
+:meth:`Checkpoint.load`, which keeps only records that still match the
+rebuilt plan (same experiment, same root seed, same per-job spawned-seed
+fingerprint) — so a checkpoint taken under one seed can never contaminate a
+run under another.
 
 Because job values are deterministic functions of ``(root seed, experiment,
 job name)`` (the engine's seed-spawning contract), a resumed run that skips
@@ -110,13 +118,24 @@ class Checkpoint:
 
     One instance per (experiment run, output directory).  ``load(plan)``
     returns the records still valid for the plan; ``record(plan, outcome)``
-    persists one more completed job.  Every persist rewrites the file
-    atomically, so a crash at any point leaves a loadable JSONL.
+    persists one more completed job — an O(1) fsync'd append, with the file
+    compacted (atomic full rewrite) only when stale lines pile up.  A crash
+    at any point tears at most the final line, which the loader skips.
+
+    ``compact_threshold`` fixes the stale-line count that triggers
+    compaction; by default it scales with the live record count (never
+    fewer than 64), which bounds the file at ~2× its compacted size while
+    keeping compactions rare enough to stay amortized O(1) per record.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, compact_threshold: int | None = None) -> None:
+        if compact_threshold is not None and compact_threshold < 1:
+            raise ValueError(f"compact_threshold must be >= 1, got {compact_threshold}")
         self.path = Path(path)
+        self.compact_threshold = compact_threshold
+        self.compactions = 0
         self._records: list[CheckpointRecord] = []
+        self._stale_lines = 0
         self._fingerprints: dict[str, int] | None = None
         self._loaded_for: tuple[str, int] | None = None
 
@@ -131,11 +150,13 @@ class Checkpoint:
         """
         self._fingerprints = plan.job_seeds()
         kept: dict[str, CheckpointRecord] = {}
+        lines_seen = 0
         if self.path.exists():
             for line in self.path.read_text().splitlines():
                 line = line.strip()
                 if not line:
                     continue
+                lines_seen += 1
                 try:
                     raw = json.loads(line)
                     record = CheckpointRecord(
@@ -155,6 +176,9 @@ class Checkpoint:
                     continue
                 kept[record.job] = record  # duplicates: last write wins
         self._records = list(kept.values())
+        # corrupt, foreign, and superseded lines all occupy file space
+        # without being live records — they are what compaction reclaims
+        self._stale_lines = lines_seen - len(kept)
         self._loaded_for = (plan.experiment, plan.seed)
         return list(self._records)
 
@@ -177,8 +201,11 @@ class Checkpoint:
             attempts=outcome.attempts,
             elapsed_s=outcome.elapsed_s,
         )
-        self._records = [r for r in self._records if r.job != record.job] + [record]
-        self._flush(replacement_encoded={record.job: encoded})
+        live = [r for r in self._records if r.job != record.job]
+        if len(live) != len(self._records):
+            self._stale_lines += 1  # the old line for this job is now dead
+        self._records = live + [record]
+        self._append(self._serialize(record, encoded))
         recorder = flight_recorder()
         if recorder is not None:
             recorder.emit(
@@ -187,6 +214,8 @@ class Checkpoint:
                 records=len(self._records),
                 bytes=self.path.stat().st_size if self.path.exists() else 0,
             )
+        if self._stale_lines >= self._effective_compact_threshold():
+            self.compact()
         return True
 
     def _serialize(self, record: CheckpointRecord, encoded_value: Any) -> str:
@@ -203,17 +232,47 @@ class Checkpoint:
             }
         )
 
-    def _flush(self, replacement_encoded: dict[str, Any]) -> None:
-        lines = []
-        for record in self._records:
-            encoded = (
-                replacement_encoded[record.job]
-                if record.job in replacement_encoded
-                else encode_value(record.value)
-            )
-            lines.append(self._serialize(record, encoded))
-        atomic_write_text(self.path, "\n".join(lines) + ("\n" if lines else ""))
+    def _append(self, line: str) -> None:
+        """Persist one record: append + flush + fsync — O(1) in file size.
+
+        The crash-injection hook fires here (after the bytes are durable),
+        so ``DRS_ENGINE_CRASH_AFTER=k`` still means "die with exactly k
+        records on disk".
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         _maybe_injected_crash()
+
+    def _effective_compact_threshold(self) -> int:
+        if self.compact_threshold is not None:
+            return self.compact_threshold
+        return max(64, len(self._records))
+
+    def compact(self) -> None:
+        """Atomically rewrite the file down to one line per live record.
+
+        Runs automatically when stale lines (superseded duplicates, foreign
+        or torn lines) reach the threshold; safe to call by hand.  The
+        rewrite goes through write-temp-then-``os.replace``, so a crash
+        during compaction leaves the previous (valid, merely bloated) file.
+        """
+        reclaimed = self._stale_lines
+        lines = [self._serialize(r, encode_value(r.value)) for r in self._records]
+        atomic_write_text(self.path, "\n".join(lines) + ("\n" if lines else ""))
+        self._stale_lines = 0
+        self.compactions += 1
+        recorder = flight_recorder()
+        if recorder is not None:
+            recorder.emit(
+                "checkpoint.compact",
+                records=len(self._records),
+                reclaimed=reclaimed,
+                compactions=self.compactions,
+                bytes=self.path.stat().st_size if self.path.exists() else 0,
+            )
 
     # --------------------------------------------------------------- queries
     def completed_jobs(self) -> list[str]:

@@ -1,0 +1,916 @@
+"""Multi-host distributed execution: a coordinator + worker TCP protocol.
+
+The third executor backend (after :class:`~repro.engine.executors.SerialExecutor`
+and the process-pool :class:`~repro.engine.executors.ParallelExecutor`): a
+:class:`DistributedExecutor` runs the **coordinator** for one plan, and any
+number of ``drs-worker`` processes — on this machine or others — connect over
+TCP, pull job chunks, and stream results back.  Workers may join and leave at
+any point of the run (elastic membership); the protocol is loopback by
+default and binds a routable address with ``--coordinator 0.0.0.0:PORT``.
+
+Wire format
+-----------
+
+Length-prefixed JSON frames: a 4-byte big-endian length followed by one
+UTF-8 JSON object.  Job params and values cross the wire through the
+checkpoint codec (:func:`~repro.engine.checkpoint.encode_value` /
+:func:`decode_value`), so tuples and NumPy scalars/arrays survive exactly;
+job *functions* travel as ``"module:qualname"`` references resolved by
+import on the worker (the same module-level-function rule process pools
+already impose).  Workers therefore trust their coordinator — run the
+protocol on a loopback or private network, not the open internet.
+
+Scheduling
+----------
+
+The coordinator owns the job queue; **idle workers pull** (work stealing in
+the scheduling-theory sense — there is no push or static partition).  Chunk
+sizes follow guided self-scheduling: each pull takes
+``ceil(pending / (chunks_per_worker * active_workers))`` jobs, so early
+chunks amortize round trips and late chunks keep the fleet balanced.  A
+worker that misses its heartbeat deadline (or whose connection drops — a
+SIGKILLed worker closes its socket immediately) is declared dead: its
+outstanding chunk is requeued and the next idle worker picks the jobs up,
+recorded as ``job.stolen`` flight events.  A job whose workers keep dying
+exhausts a requeue budget and lands in the existing quarantine machinery
+(or raises :class:`~repro.engine.retry.JobError` under a fail-fast policy),
+exactly like a poison job that keeps breaking a process pool.
+
+Because every job's stream is spawned from ``(root seed, experiment, job
+name)``, none of this affects values: serial, ``--jobs N``, and distributed
+runs — including runs where workers died mid-chunk — produce byte-identical
+CSVs.  Schedules shape wall time and event ordering, never results.
+
+Observability
+-------------
+
+Workers run the shared :func:`~repro.engine.executors._run_chunk` path, so
+each chunk returns its private metrics registry, silent heartbeat summary,
+and buffered flight events; the coordinator merges/ingests them exactly as
+the process-pool parent does.  The coordinator additionally emits
+``worker.join`` / ``worker.leave`` / ``job.stolen`` events, and the final
+:class:`~repro.engine.executors.PlanExecution` carries per-host attribution
+(host, pid, jobs, wall/CPU seconds per worker) that ``run_plan`` folds into
+the manifest under ``engine.hosts``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable
+
+from repro.engine.checkpoint import Checkpoint, decode_value, encode_value
+from repro.engine.executors import (
+    PlanExecution,
+    PlanInterrupted,
+    _announce_plan,
+    _install_progress_totals,
+    _resume_from_checkpoint,
+)
+from repro.engine.jobs import Job, JobPlan
+from repro.engine.retry import FAIL_FAST, JobError, JobOutcome, RetryPolicy
+from repro.obs.flightrecorder import flight_recorder
+from repro.obs.metrics import Histogram, MetricsRegistry, current_registry
+from repro.obs.progress import heartbeat
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "send_frame",
+    "recv_frame",
+    "parse_address",
+    "job_to_wire",
+    "job_from_wire",
+    "outcome_to_wire",
+    "outcome_from_wire",
+    "policy_to_wire",
+    "policy_from_wire",
+    "registry_to_wire",
+    "registry_from_wire",
+    "Coordinator",
+    "DistributedExecutor",
+]
+
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on one frame; a legitimate chunk result is orders smaller
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: how often workers beat, and how long the coordinator waits before
+#: declaring a silent worker dead (a dead *process* is detected faster,
+#: through its closed socket; the deadline catches network partitions)
+HEARTBEAT_INTERVAL_S = 1.0
+HEARTBEAT_TIMEOUT_S = 10.0
+
+#: test/CI fault injection: a worker SIGKILLs itself on receiving its
+#: (k+1)-th chunk — i.e. it dies *mid-chunk*, with jobs outstanding
+WORKER_CRASH_ENV = "DRS_WORKER_CRASH_AFTER_CHUNKS"
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, oversized, or truncated frame on the wire."""
+
+
+# ------------------------------------------------------------------- framing
+def send_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Write one length-prefixed JSON frame."""
+    data = json.dumps(payload, default=str).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(struct.pack(">I", len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, or None on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(f"connection closed mid-frame ({n - remaining}/{n} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame; None on clean EOF (peer closed between frames)."""
+    header = _recv_exact(sock, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    data = _recv_exact(sock, length)
+    if data is None:
+        raise ProtocolError("connection closed between length and payload")
+    try:
+        frame = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise ProtocolError(f"frame is not a typed object: {frame!r:.80}")
+    return frame
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``"HOST:PORT"`` to a bindable/connectable address (port 0 = ephemeral)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"coordinator address must be HOST:PORT, got {spec!r}")
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ValueError(f"coordinator port must be an integer, got {port!r}") from None
+    if not 0 <= port_num <= 65535:
+        raise ValueError(f"coordinator port out of range: {port_num}")
+    return host, port_num
+
+
+# -------------------------------------------------------------- wire codecs
+def job_to_wire(job: Job) -> dict[str, Any]:
+    """A job as a frame payload: name, ``module:qualname`` ref, tagged params."""
+    fn = job.fn
+    if getattr(fn, "__name__", "<lambda>") == "<lambda>" or "<locals>" in getattr(
+        fn, "__qualname__", ""
+    ):
+        raise TypeError(
+            f"job {job.name!r} function {fn!r} is not module-level; distributed "
+            f"workers resolve functions by import, exactly like process pools pickle them"
+        )
+    return {
+        "name": job.name,
+        "fn": f"{fn.__module__}:{fn.__qualname__}",
+        "params": encode_value(job.params),
+    }
+
+
+def resolve_job_fn(ref: str) -> Callable[..., Any]:
+    """Import-resolve a ``module:qualname`` function reference."""
+    module_name, sep, qualname = ref.partition(":")
+    if not sep or not module_name or not qualname:
+        raise ProtocolError(f"malformed function reference {ref!r}")
+    import importlib
+
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ProtocolError(f"function reference {ref!r} resolved to non-callable {obj!r}")
+    return obj
+
+
+def job_from_wire(payload: dict[str, Any]) -> Job:
+    """Inverse of :func:`job_to_wire` (imports the job function)."""
+    return Job(
+        name=payload["name"],
+        fn=resolve_job_fn(payload["fn"]),
+        params=decode_value(payload["params"]),
+    )
+
+
+def outcome_to_wire(outcome: JobOutcome) -> dict[str, Any]:
+    """A job outcome as a frame payload; unencodable values become failures.
+
+    The process-pool path moves values by pickle; the wire moves them through
+    the checkpoint codec.  A value with no faithful JSON form cannot reach
+    the coordinator intact, so it is reported as a failed outcome (the job
+    quarantines) rather than silently degraded.
+    """
+    wire = {
+        "name": outcome.name,
+        "ok": outcome.ok,
+        "error": outcome.error,
+        "attempts": outcome.attempts,
+        "timed_out": outcome.timed_out,
+        "elapsed_s": outcome.elapsed_s,
+    }
+    if outcome.ok:
+        try:
+            wire["value"] = encode_value(outcome.value)
+        except TypeError as exc:
+            wire.update(ok=False, error=f"job value not wire-encodable: {exc}", value=None)
+    else:
+        wire["value"] = None
+    return wire
+
+
+def outcome_from_wire(payload: dict[str, Any]) -> JobOutcome:
+    """Inverse of :func:`outcome_to_wire`."""
+    return JobOutcome(
+        name=payload["name"],
+        ok=bool(payload["ok"]),
+        value=decode_value(payload.get("value")),
+        error=payload.get("error"),
+        attempts=int(payload.get("attempts", 1)),
+        timed_out=bool(payload.get("timed_out", False)),
+        elapsed_s=float(payload.get("elapsed_s", 0.0)),
+    )
+
+
+def policy_to_wire(policy: RetryPolicy) -> dict[str, Any]:
+    """A retry policy as plain fields (it is a frozen dataclass of scalars)."""
+    return asdict(policy)
+
+
+def policy_from_wire(payload: dict[str, Any]) -> RetryPolicy:
+    """Inverse of :func:`policy_to_wire`."""
+    return RetryPolicy(**payload)
+
+
+def registry_to_wire(registry: MetricsRegistry) -> list[dict[str, Any]]:
+    """A worker registry's full state, mergeable on the coordinator side."""
+    rows: list[dict[str, Any]] = []
+    for name, labels, kind, obj in registry:
+        row: dict[str, Any] = {"name": name, "labels": labels, "kind": kind}
+        if kind == "counter":
+            row.update(value=obj.value, events=obj.events)
+        elif kind == "gauge":
+            row.update(value=obj.value)
+        else:  # histogram
+            row.update(
+                bounds=list(obj.bounds),
+                counts=list(obj.counts),
+                count=obj.count,
+                sum=obj.sum,
+                # +-inf round-trips through python json; encode defensively
+                min=None if obj.count == 0 else obj.min,
+                max=None if obj.count == 0 else obj.max,
+            )
+        rows.append(row)
+    return rows
+
+
+def registry_from_wire(rows: list[dict[str, Any]]) -> MetricsRegistry:
+    """Rebuild a registry from :func:`registry_to_wire` rows (for ``merge``)."""
+    registry = MetricsRegistry()
+    for row in rows:
+        labels = row.get("labels") or None
+        kind = row["kind"]
+        if kind == "counter":
+            counter = registry.counter(row["name"], labels)
+            counter.value = float(row["value"])
+            counter.events = int(row["events"])
+        elif kind == "gauge":
+            registry.gauge(row["name"], labels).set(float(row["value"]))
+        else:
+            hist: Histogram = registry.histogram(
+                row["name"], buckets=tuple(row["bounds"]), labels=labels
+            )
+            hist.counts = [int(c) for c in row["counts"]]
+            hist.count = int(row["count"])
+            hist.sum = float(row["sum"])
+            hist.min = float("inf") if row.get("min") is None else float(row["min"])
+            hist.max = float("-inf") if row.get("max") is None else float(row["max"])
+    return registry
+
+
+# ------------------------------------------------------------- coordinator
+@dataclass
+class WorkerHandle:
+    """Coordinator-side state of one connected worker."""
+
+    wid: int
+    host: str
+    pid: int
+    sock: socket.socket
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    last_heard: float = field(default_factory=time.monotonic)
+    jobs_done: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    chunk: list[Job] | None = None
+    alive: bool = True
+    reason: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.host}/{self.pid}"
+
+
+class Coordinator:
+    """Serve one plan's job queue to pull-based TCP workers.
+
+    The coordinator is passive about scheduling: workers ask (``next``), it
+    answers with a guided-size chunk, an ``idle`` backoff hint, or
+    ``shutdown``.  All shared state — queue, outstanding chunks, absorbed
+    results — lives behind one lock; the ``absorb`` callback (the executor's
+    result sink: values, checkpoint, registry merge, flight ingest) runs
+    under that lock, so the executor needs no locking of its own.
+    """
+
+    def __init__(
+        self,
+        plan: JobPlan,
+        jobs: list[Job],
+        policy: RetryPolicy,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunks_per_worker: int = 4,
+        heartbeat_interval_s: float = HEARTBEAT_INTERVAL_S,
+        heartbeat_timeout_s: float = HEARTBEAT_TIMEOUT_S,
+        max_job_requeues: int = 3,
+        absorb: Callable[[WorkerHandle, list[Job], dict[str, Any]], None] | None = None,
+        emit: Callable[..., None] | None = None,
+    ) -> None:
+        self.plan = plan
+        self.policy = policy
+        self.pending: deque[Job] = deque(jobs)
+        self.total = len(jobs)
+        self.settled: set[str] = set()
+        self.chunks_per_worker = chunks_per_worker
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.max_job_requeues = max_job_requeues
+        self._absorb = absorb if absorb is not None else lambda *a: None
+        self._emit = emit if emit is not None else lambda *a, **k: None
+        self._host, self._port = host, port
+        self.lock = threading.RLock()
+        self.done = threading.Event()
+        self.failure: JobError | None = None
+        self.workers: dict[int, WorkerHandle] = {}
+        self.jobs_stolen = 0
+        self.workers_joined = 0
+        self._next_wid = 0
+        self._requeues: dict[str, int] = {}
+        self._previous_owner: dict[str, int] = {}
+        self._quarantined_by_death: list[JobOutcome] = []
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handler_threads: list[threading.Thread] = []
+        self._stopping = False
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port resolved after :meth:`start`."""
+        return self._host, self._port
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, and begin accepting workers; returns the address."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        self._port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="drs-coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Close the listener and every worker socket; join handler threads."""
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self.lock:
+            handles = list(self.workers.values())
+        for handle in handles:
+            try:
+                handle.sock.close()
+            except OSError:
+                pass
+        for thread in self._handler_threads:
+            thread.join(timeout=2.0)
+
+    def broadcast_shutdown(self) -> None:
+        """Tell every connected worker to exit after its current frame."""
+        with self.lock:
+            handles = [h for h in self.workers.values() if h.alive]
+        for handle in handles:
+            try:
+                with handle.send_lock:
+                    send_frame(handle.sock, {"type": "shutdown"})
+            except OSError:
+                pass
+
+    # --------------------------------------------------------------- serving
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_worker, args=(conn,), name="drs-coordinator-worker", daemon=True
+            )
+            self._handler_threads.append(thread)
+            thread.start()
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        handle: WorkerHandle | None = None
+        try:
+            conn.settimeout(self.heartbeat_timeout_s)
+            hello = recv_frame(conn)
+            if hello is None or hello.get("type") != "hello":
+                conn.close()
+                return
+            handle = self._register(conn, hello)
+            with handle.send_lock:
+                send_frame(
+                    conn,
+                    {
+                        "type": "welcome",
+                        "protocol": PROTOCOL_VERSION,
+                        "worker": handle.wid,
+                        "experiment": self.plan.experiment,
+                        "seed": self.plan.seed,
+                        "policy": policy_to_wire(self.policy),
+                        "heartbeat_interval_s": self.heartbeat_interval_s,
+                    },
+                )
+            while not self._stopping:
+                frame = recv_frame(conn)
+                if frame is None:
+                    break
+                handle.last_heard = time.monotonic()
+                kind = frame.get("type")
+                if kind == "heartbeat":
+                    continue
+                if kind == "next":
+                    self._answer_next(handle)
+                elif kind == "chunk_done":
+                    self._absorb_chunk(handle, frame)
+                elif kind == "job_error":
+                    self._record_failure(frame)
+                elif kind == "goodbye":
+                    self._worker_gone(handle, reason="left", requeue=True)
+                    return
+        except (ProtocolError, OSError, socket.timeout):
+            pass
+        finally:
+            if handle is not None and handle.alive:
+                self._worker_gone(handle, reason="disconnect", requeue=True)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _register(self, conn: socket.socket, hello: dict[str, Any]) -> WorkerHandle:
+        with self.lock:
+            self._next_wid += 1
+            handle = WorkerHandle(
+                wid=self._next_wid,
+                host=str(hello.get("host", "?")),
+                pid=int(hello.get("pid", 0)),
+                sock=conn,
+            )
+            self.workers[handle.wid] = handle
+            self.workers_joined += 1
+            active = sum(1 for w in self.workers.values() if w.alive)
+        self._emit(
+            "worker.join",
+            pid=handle.pid,
+            worker=handle.wid,
+            host=handle.host,
+            workers=active,
+        )
+        return handle
+
+    def _answer_next(self, handle: WorkerHandle) -> None:
+        with self.lock:
+            if self.failure is not None or self.done.is_set():
+                reply: dict[str, Any] = {"type": "shutdown"}
+            elif self.pending:
+                chunk = self._take_chunk(handle)
+                reply = {"type": "chunk", "jobs": [job_to_wire(job) for job in chunk]}
+            elif len(self.settled) >= self.total:
+                reply = {"type": "shutdown"}
+            else:
+                # outstanding chunks elsewhere: poll again shortly — if their
+                # worker dies, the requeued jobs are this worker's to steal
+                reply = {"type": "idle", "wait_s": 0.05}
+        with handle.send_lock:
+            send_frame(handle.sock, reply)
+        if reply["type"] == "chunk":
+            self._sample_scheduler()
+
+    def _take_chunk(self, handle: WorkerHandle) -> list[Job]:
+        """Pop a guided-size chunk for ``handle`` (caller holds the lock)."""
+        active = max(1, sum(1 for w in self.workers.values() if w.alive))
+        size = max(1, math.ceil(len(self.pending) / (self.chunks_per_worker * active)))
+        chunk = [self.pending.popleft() for _ in range(min(size, len(self.pending)))]
+        handle.chunk = chunk
+        for job in chunk:
+            previous = self._previous_owner.pop(job.name, None)
+            if previous is not None and previous != handle.wid:
+                self.jobs_stolen += 1
+                self._emit(
+                    "job.stolen",
+                    job=job.name,
+                    pid=handle.pid,
+                    worker=handle.wid,
+                    from_worker=previous,
+                )
+            self._emit("job.submitted", job=job.name, pid=handle.pid, worker=handle.wid)
+        return chunk
+
+    def _absorb_chunk(self, handle: WorkerHandle, frame: dict[str, Any]) -> None:
+        with self.lock:
+            chunk = handle.chunk or []
+            handle.chunk = None
+            handle.jobs_done += len(chunk)
+            handle.wall_s += float(frame.get("wall_s", 0.0))
+            handle.cpu_s += float(frame.get("cpu_s", 0.0))
+            self._absorb(handle, chunk, frame)
+            for payload in frame.get("outcomes", ()):
+                self.settled.add(payload["name"])
+            self._check_done()
+        self._sample_scheduler()
+
+    def _record_failure(self, frame: dict[str, Any]) -> None:
+        """A fail-fast worker reported a job failure: stop the whole plan."""
+        with self.lock:
+            if self.failure is None:
+                self.failure = JobError(
+                    str(frame.get("experiment", self.plan.experiment)),
+                    str(frame.get("job", "?")),
+                    str(frame.get("cause", "job failed on a distributed worker")),
+                )
+            self.done.set()
+
+    def _worker_gone(self, handle: WorkerHandle, reason: str, requeue: bool) -> None:
+        """Retire a worker; requeue (or quarantine) its outstanding chunk."""
+        with self.lock:
+            if not handle.alive:
+                return
+            handle.alive = False
+            handle.reason = reason
+            chunk = handle.chunk or []
+            handle.chunk = None
+            requeued: list[str] = []
+            for job in chunk:
+                if not requeue or job.name in self.settled:
+                    continue
+                self._requeues[job.name] = self._requeues.get(job.name, 0) + 1
+                if self._requeues[job.name] > self.max_job_requeues:
+                    self._poison_job(job)
+                    continue
+                self._previous_owner[job.name] = handle.wid
+                self.pending.appendleft(job)
+                requeued.append(job.name)
+            active = sum(1 for w in self.workers.values() if w.alive)
+            self._check_done()
+        self._emit(
+            "worker.leave",
+            pid=handle.pid,
+            worker=handle.wid,
+            host=handle.host,
+            reason=reason,
+            jobs=handle.jobs_done,
+            requeued=len(requeued),
+            workers=active,
+        )
+        try:
+            handle.sock.close()
+        except OSError:
+            pass
+
+    def _poison_job(self, job: Job) -> None:
+        """A job that keeps killing its workers: quarantine or fail the plan."""
+        error = (
+            f"workers died {self._requeues[job.name]} times while running this job "
+            f"(requeue budget {self.max_job_requeues})"
+        )
+        if not self.policy.quarantine:
+            if self.failure is None:
+                self.failure = JobError(self.plan.experiment, job.name, error)
+            self.done.set()
+            return
+        outcome = JobOutcome(name=job.name, ok=False, error=error, attempts=1)
+        self._quarantined_by_death.append(outcome)
+        self.settled.add(job.name)
+        self._emit("job.quarantined", job=job.name, attempts=1, timed_out=False, error=error)
+
+    def _check_done(self) -> None:
+        if len(self.settled) >= self.total:
+            self.done.set()
+
+    def expire_stale_workers(self) -> None:
+        """Heartbeat-deadline sweep; the executor's watchdog calls this."""
+        now = time.monotonic()
+        with self.lock:
+            stale = [
+                w
+                for w in self.workers.values()
+                if w.alive and now - w.last_heard > self.heartbeat_timeout_s
+            ]
+        for handle in stale:
+            self._worker_gone(handle, reason="heartbeat-timeout", requeue=True)
+
+    def _sample_scheduler(self) -> None:
+        with self.lock:
+            alive = [w for w in self.workers.values() if w.alive]
+            busy = sum(1 for w in alive if w.chunk)
+            fields = dict(
+                queue_depth=self.total - len(self.settled),
+                outstanding_chunks=busy,
+                utilization=round(busy / len(alive), 4) if alive else 0.0,
+                workers=len(alive),
+            )
+        self._emit("scheduler.gauge", **fields)
+
+    # ------------------------------------------------------------- reporting
+    def host_attribution(self) -> dict[str, dict[str, Any]]:
+        """Manifest block: per-worker host, pid, jobs, wall/CPU seconds."""
+        with self.lock:
+            return {
+                str(handle.wid): {
+                    "host": handle.host,
+                    "pid": handle.pid,
+                    "jobs": handle.jobs_done,
+                    "wall_s": round(handle.wall_s, 6),
+                    "cpu_s": round(handle.cpu_s, 6),
+                }
+                for handle in sorted(self.workers.values(), key=lambda w: w.wid)
+            }
+
+
+# ---------------------------------------------------------------- executor
+class DistributedExecutor:
+    """Run a plan as the coordinator of a TCP worker fleet.
+
+    ``spawn_workers`` local ``drs-worker`` subprocesses are launched against
+    the bound address (the ``--jobs N`` analogue); with ``spawn_workers=0``
+    the coordinator waits for external workers to join — start them anywhere
+    that can reach the address with ``drs-worker --coordinator HOST:PORT``.
+    Spawned workers that die with jobs still pending are replaced, up to
+    ``max_worker_respawns`` total, mirroring the process-pool respawn
+    budget.  Results are byte-identical to serial for any fleet history.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        coordinator: str | None = None,
+        spawn_workers: int = 0,
+        policy: RetryPolicy | None = None,
+        chunks_per_worker: int = 4,
+        heartbeat_interval_s: float = HEARTBEAT_INTERVAL_S,
+        heartbeat_timeout_s: float = HEARTBEAT_TIMEOUT_S,
+        max_worker_respawns: int = 3,
+        max_job_requeues: int = 3,
+    ) -> None:
+        if spawn_workers < 0:
+            raise ValueError(f"spawn_workers must be >= 0, got {spawn_workers}")
+        if chunks_per_worker < 1:
+            raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+        if heartbeat_timeout_s <= heartbeat_interval_s:
+            raise ValueError("heartbeat_timeout_s must exceed heartbeat_interval_s")
+        self.bind_host, self.bind_port = parse_address(coordinator or "127.0.0.1:0")
+        self.spawn_workers = spawn_workers
+        self.workers = max(spawn_workers, 1)
+        self.policy = policy
+        self.chunks_per_worker = chunks_per_worker
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.max_worker_respawns = max_worker_respawns
+        self.max_job_requeues = max_job_requeues
+        #: the bound address of the last run's coordinator (host, port)
+        self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------ subprocesses
+    def _spawn_worker(self, address: tuple[str, int], respawn: bool) -> subprocess.Popen:
+        env = dict(os.environ)
+        if respawn:
+            # a replacement must not re-trigger the crash injection, or a
+            # crash-looping fleet would burn the whole respawn budget on it
+            env.pop(WORKER_CRASH_ENV, None)
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.engine.worker",
+                "--coordinator",
+                f"{address[0]}:{address[1]}",
+                "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(self, plan: JobPlan, checkpoint: Checkpoint | None = None) -> PlanExecution:
+        """Coordinate the plan across the worker fleet; values match serial."""
+        policy = self.policy if self.policy is not None else FAIL_FAST
+        registry = current_registry()
+        reporter = heartbeat()
+        recorder = flight_recorder()
+        values, resumed = _resume_from_checkpoint(plan, checkpoint)
+        _install_progress_totals(plan)
+        _announce_plan(recorder, plan, self.name, self.spawn_workers, resumed)
+        attempts: dict[str, int] = {}
+        quarantined: list[str] = []
+        timed_out: list[str] = []
+
+        def emit(kind: str, **fields: Any) -> None:
+            if recorder is not None:
+                recorder.emit(kind, **fields)
+
+        def absorb(handle: WorkerHandle, chunk: list[Job], frame: dict[str, Any]) -> None:
+            """Fold one chunk result in (runs under the coordinator lock)."""
+            for payload in frame.get("outcomes", ()):
+                outcome = outcome_from_wire(payload)
+                attempts[outcome.name] = outcome.attempts
+                if outcome.ok:
+                    values[outcome.name] = outcome.value
+                    if checkpoint is not None:
+                        checkpoint.record(plan, outcome)
+                else:
+                    quarantined.append(outcome.name)
+                    if outcome.timed_out:
+                        timed_out.append(outcome.name)
+            registry.merge(registry_from_wire(frame.get("registry", [])))
+            if recorder is not None:
+                recorder.ingest(frame.get("flight", []))
+            if reporter is not None:
+                summary = frame.get("heartbeat")
+                if summary:
+                    reporter.absorb(summary)
+                reporter.add(0, jobs=len(chunk))
+
+        remaining = [job for job in plan.jobs if job.name not in values]
+        server = Coordinator(
+            plan,
+            remaining,
+            policy,
+            host=self.bind_host,
+            port=self.bind_port,
+            chunks_per_worker=self.chunks_per_worker,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+            max_job_requeues=self.max_job_requeues,
+            absorb=absorb,
+            emit=emit,
+        )
+        if not remaining:
+            server.done.set()
+        interrupted = False
+        respawns = 0
+        spawned: list[subprocess.Popen] = []
+        hosts: dict[str, dict[str, Any]] = {}
+        try:
+            self.address = server.start()
+            if self.spawn_workers:
+                spawned = [
+                    self._spawn_worker(self.address, respawn=False)
+                    for _ in range(self.spawn_workers)
+                ]
+            elif remaining:
+                print(
+                    f"[distributed] waiting for workers: "
+                    f"drs-worker --coordinator {self.address[0]}:{self.address[1]}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            try:
+                while not server.done.wait(timeout=0.1):
+                    server.expire_stale_workers()
+                    respawns = self._keep_fleet_alive(server, spawned, respawns, emit)
+            except KeyboardInterrupt:
+                interrupted = True
+                emit(
+                    "plan.interrupted",
+                    jobs=len(plan.jobs),
+                    completed=len(values),
+                    backend=self.name,
+                )
+        finally:
+            server.broadcast_shutdown()
+            server.stop()
+            hosts = server.host_attribution()
+            for proc in spawned:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in spawned:
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        for outcome in server._quarantined_by_death:
+            attempts[outcome.name] = outcome.attempts
+            quarantined.append(outcome.name)
+        observed = len(hosts)
+        self.workers = max(self.spawn_workers, observed, 1)
+        execution = PlanExecution(
+            values=values,
+            backend=self.name,
+            workers=self.workers,
+            job_seeds=plan.job_seeds(),
+            attempts=attempts,
+            quarantined=quarantined,
+            timed_out=timed_out,
+            resumed=resumed,
+            pool_respawns=respawns,
+            hosts=hosts,
+            interrupted=interrupted,
+        )
+        if interrupted:
+            raise PlanInterrupted(execution)
+        if server.failure is not None:
+            raise server.failure
+        emit(
+            "plan.end",
+            jobs=len(plan.jobs),
+            completed=len(values),
+            quarantined=len(quarantined),
+            pool_respawns=respawns,
+            stolen=server.jobs_stolen,
+            workers=observed,
+        )
+        return execution
+
+    def _keep_fleet_alive(
+        self,
+        server: Coordinator,
+        spawned: list[subprocess.Popen],
+        respawns: int,
+        emit: Callable[..., None],
+    ) -> int:
+        """Replace dead spawned workers while jobs remain; returns respawns."""
+        if not spawned:
+            return respawns
+        with server.lock:
+            work_left = len(server.settled) < server.total and server.failure is None
+        if not work_left:
+            return respawns
+        for i, proc in enumerate(spawned):
+            if proc.poll() is None:
+                continue
+            if respawns >= self.max_worker_respawns:
+                with server.lock:
+                    alive = sum(1 for w in server.workers.values() if w.alive)
+                    if alive == 0 and all(p.poll() is not None for p in spawned):
+                        server.failure = JobError(
+                            server.plan.experiment,
+                            "<fleet>",
+                            f"all spawned workers died and the respawn budget "
+                            f"({self.max_worker_respawns}) is exhausted",
+                        )
+                        server.done.set()
+                return respawns
+            respawns += 1
+            spawned[i] = self._spawn_worker(self.address, respawn=True)
+            emit("pool.respawn", respawns=respawns, requeued=0, backend=self.name)
+        return respawns

@@ -1,6 +1,8 @@
 """Pluggable executors: run a :class:`~repro.engine.jobs.JobPlan`'s jobs.
 
-Two backends ship:
+Two backends live here (a third, the multi-host
+:class:`~repro.engine.distributed.DistributedExecutor`, builds on this
+module's worker chunk path and plan-announcement helpers):
 
 * :class:`SerialExecutor` — runs every job in-process, in plan order.  The
   default, and the reference behavior: jobs publish metrics and heartbeats
@@ -54,6 +56,7 @@ from repro.obs.progress import ProgressReporter, heartbeat, set_heartbeat
 __all__ = [
     "JobError",
     "PlanExecution",
+    "PlanInterrupted",
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
@@ -73,11 +76,35 @@ class PlanExecution:
     timed_out: list[str] = field(default_factory=list)
     resumed: list[str] = field(default_factory=list)
     pool_respawns: int = 0
+    #: distributed backend only: per-worker attribution keyed by worker id
+    #: (``{"host", "pid", "jobs", "wall_s", "cpu_s"}`` each)
+    hosts: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: the run was cut short by SIGINT/Ctrl-C (partial ``values``)
+    interrupted: bool = False
 
     @property
     def retries(self) -> int:
         """Total attempts beyond the first across all jobs run this time."""
         return sum(a - 1 for a in self.attempts.values())
+
+
+class PlanInterrupted(RuntimeError):
+    """Ctrl-C/SIGINT stopped a plan; ``execution`` holds the partial state.
+
+    Executors catch :class:`KeyboardInterrupt`, settle every outcome that
+    had already arrived (checkpoint records included — nothing finished is
+    lost), cancel the rest, and raise this instead.  The runner turns it
+    into a manifest marked ``status="interrupted"`` and a clean exit, so
+    ``--resume`` picks up exactly where the interrupt landed.
+    """
+
+    def __init__(self, execution: PlanExecution) -> None:
+        done = len(execution.values)
+        super().__init__(
+            f"plan interrupted after {done} settled job{'s' if done != 1 else ''}; "
+            f"partial results checkpointed"
+        )
+        self.execution = execution
 
 
 def _resume_from_checkpoint(
@@ -147,24 +174,53 @@ class SerialExecutor:
         attempts: dict[str, int] = {}
         quarantined: list[str] = []
         timed_out: list[str] = []
-        for job in plan.jobs:
-            if job.name in values:
-                continue
+
+        def execution(interrupted: bool = False) -> PlanExecution:
+            return PlanExecution(
+                values=values,
+                backend=self.name,
+                workers=1,
+                job_seeds=plan.job_seeds(),
+                attempts=attempts,
+                quarantined=quarantined,
+                timed_out=timed_out,
+                resumed=resumed,
+                interrupted=interrupted,
+            )
+
+        try:
+            for job in plan.jobs:
+                if job.name in values:
+                    continue
+                if recorder is not None:
+                    recorder.emit("job.submitted", job=job.name)
+                outcome = execute_job(
+                    plan.experiment, plan.seed, job, plan.job_seedseq(job), policy
+                )
+                attempts[job.name] = outcome.attempts
+                if outcome.ok:
+                    values[job.name] = outcome.value
+                    if checkpoint is not None:
+                        checkpoint.record(plan, outcome)
+                else:
+                    quarantined.append(job.name)
+                    if outcome.timed_out:
+                        timed_out.append(job.name)
+                hb = heartbeat()
+                if hb is not None:
+                    hb.add(0, jobs=1)
+        except KeyboardInterrupt:
+            # Every settled job is already in `values` and the checkpoint;
+            # only the job that was mid-flight is lost, and --resume reruns
+            # exactly that remainder.
             if recorder is not None:
-                recorder.emit("job.submitted", job=job.name)
-            outcome = execute_job(plan.experiment, plan.seed, job, plan.job_seedseq(job), policy)
-            attempts[job.name] = outcome.attempts
-            if outcome.ok:
-                values[job.name] = outcome.value
-                if checkpoint is not None:
-                    checkpoint.record(plan, outcome)
-            else:
-                quarantined.append(job.name)
-                if outcome.timed_out:
-                    timed_out.append(job.name)
-            hb = heartbeat()
-            if hb is not None:
-                hb.add(0, jobs=1)
+                recorder.emit(
+                    "plan.interrupted",
+                    jobs=len(plan.jobs),
+                    completed=len(values),
+                    backend=self.name,
+                )
+            raise PlanInterrupted(execution(interrupted=True)) from None
         if recorder is not None:
             recorder.emit(
                 "plan.end",
@@ -172,16 +228,7 @@ class SerialExecutor:
                 completed=len(values),
                 quarantined=len(quarantined),
             )
-        return PlanExecution(
-            values=values,
-            backend=self.name,
-            workers=1,
-            job_seeds=plan.job_seeds(),
-            attempts=attempts,
-            quarantined=quarantined,
-            timed_out=timed_out,
-            resumed=resumed,
-        )
+        return execution()
 
 
 #: process-local: has this pool worker announced itself on the flight channel?
@@ -330,27 +377,33 @@ class ParallelExecutor:
         chunks = self._chunk([job for job in plan.jobs if job.name not in settled])
         respawns = 0
         while chunks:
+            # The pool is managed by hand (no `with`): its __exit__ is a
+            # shutdown(wait=True), which would block a Ctrl-C behind every
+            # chunk still running.  Interrupt and break paths below shut it
+            # down without waiting and cancel whatever never started.
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            pending: dict[Any, list[Job]] = {}
             try:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    pending = {}
-                    for chunk in chunks:
-                        future = pool.submit(_run_chunk, plan.experiment, plan.seed, chunk, policy)
-                        pending[future] = chunk
-                        if recorder is not None:
-                            for job in chunk:
-                                recorder.emit("job.submitted", job=job.name)
-                    outstanding_chunks = len(pending)
-                    sample_scheduler()
-                    while pending:
-                        done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                        for future in done:
-                            chunk = pending.pop(future)
-                            absorb(chunk, future.result())
-                            outstanding_chunks = len(pending)
-                            sample_scheduler()
+                for chunk in chunks:
+                    future = pool.submit(_run_chunk, plan.experiment, plan.seed, chunk, policy)
+                    pending[future] = chunk
+                    if recorder is not None:
+                        for job in chunk:
+                            recorder.emit("job.submitted", job=job.name)
+                outstanding_chunks = len(pending)
+                sample_scheduler()
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        chunk = pending.pop(future)
+                        absorb(chunk, future.result())
+                        outstanding_chunks = len(pending)
+                        sample_scheduler()
                 chunks = []
+                pool.shutdown(wait=True)
                 retire_pool_workers()
             except BrokenProcessPool as exc:
+                pool.shutdown(wait=False, cancel_futures=True)
                 retire_pool_workers()
                 if respawns >= self.max_pool_respawns:
                     raise JobError(
@@ -370,6 +423,40 @@ class ParallelExecutor:
                         respawns=respawns,
                         requeued=sum(len(c) for c in chunks),
                     )
+            except KeyboardInterrupt:
+                # Settle every chunk that already finished — those results
+                # (and their checkpoint records) are real — then cancel the
+                # rest and leave without waiting on running workers.
+                for future in [f for f in pending if f.done()]:
+                    chunk = pending.pop(future)
+                    try:
+                        absorb(chunk, future.result())
+                    except BaseException:
+                        pass  # a broken/failed chunk has nothing to settle
+                pool.shutdown(wait=False, cancel_futures=True)
+                retire_pool_workers()
+                if recorder is not None:
+                    recorder.emit(
+                        "plan.interrupted",
+                        jobs=len(plan.jobs),
+                        completed=len(values),
+                        backend=self.name,
+                    )
+                _recompute_rate_gauges(registry)
+                raise PlanInterrupted(
+                    PlanExecution(
+                        values=values,
+                        backend=self.name,
+                        workers=self.workers,
+                        job_seeds=plan.job_seeds(),
+                        attempts=attempts,
+                        quarantined=quarantined,
+                        timed_out=timed_out,
+                        resumed=resumed,
+                        pool_respawns=respawns,
+                        interrupted=True,
+                    )
+                ) from None
         if recorder is not None:
             recorder.emit(
                 "plan.end",
@@ -408,14 +495,39 @@ def _recompute_rate_gauges(registry: MetricsRegistry) -> None:
 
 
 def make_executor(
-    jobs: int | None, policy: RetryPolicy | None = None
-) -> SerialExecutor | ParallelExecutor:
-    """CLI helper: ``--jobs N`` to an executor (``0``/``None`` = all cores).
+    jobs: int | None,
+    policy: RetryPolicy | None = None,
+    backend: str = "local",
+    coordinator: str | None = None,
+):
+    """CLI helper: ``--jobs N`` (and ``--backend``) to an executor.
 
+    ``backend="local"`` (the default) keeps the historical mapping:
     ``--jobs 1`` (and single-core machines asking for "all cores") stays
-    serial: a one-worker pool costs process round trips and buys nothing.
-    ``policy`` (if any) is threaded through to the chosen backend.
+    serial — a one-worker pool costs process round trips and buys nothing —
+    while ``--jobs N`` builds an N-worker pool and ``0``/``None`` uses all
+    cores.  ``backend="distributed"`` runs the TCP coordinator of
+    :class:`~repro.engine.distributed.DistributedExecutor` instead:
+    ``--jobs N`` spawns N local ``drs-worker`` processes against it, and
+    ``--jobs 0``/``None`` spawns none — the run waits for external workers
+    to join at the ``coordinator`` address (``HOST:PORT``, default
+    ``127.0.0.1:0`` = loopback, ephemeral port).  ``policy`` (if any) is
+    threaded through to the chosen backend.
     """
+    if backend == "distributed":
+        from repro.engine.distributed import DistributedExecutor
+
+        if jobs is not None and jobs < 0:
+            raise ValueError(f"--jobs must be >= 0, got {jobs}")
+        return DistributedExecutor(
+            coordinator=coordinator,
+            spawn_workers=jobs or 0,
+            policy=policy,
+        )
+    if backend != "local":
+        raise ValueError(f"unknown backend {backend!r} (expected 'local' or 'distributed')")
+    if coordinator is not None:
+        raise ValueError("--coordinator only applies to --backend distributed")
     if jobs is None or jobs == 1:
         return SerialExecutor(policy=policy)
     if jobs < 0:

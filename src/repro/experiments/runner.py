@@ -10,6 +10,10 @@ Usage::
     drs-experiments --resume results     # pick up an interrupted run
     drs-experiments --quick --target-ci 0.01   # adaptive: stop each MC cell
                                                # at Wilson half-width 0.01
+    drs-experiments --backend distributed --jobs 2       # TCP coordinator
+                                                         # + 2 local workers
+    drs-experiments --backend distributed --jobs 0 \
+        --coordinator 0.0.0.0:7077    # wait for remote drs-worker joins
 
 The experiments come from the declarative registry in :mod:`repro.engine`:
 each :mod:`repro.experiments.*` module registers an
@@ -47,7 +51,7 @@ import time
 from pathlib import Path
 
 import repro.experiments  # noqa: F401  — importing registers every ExperimentSpec
-from repro.engine import Checkpoint, RetryPolicy, experiment_specs, make_executor
+from repro.engine import Checkpoint, PlanInterrupted, RetryPolicy, experiment_specs, make_executor
 from repro.obs import (
     MetricsRegistry,
     RunManifest,
@@ -61,8 +65,10 @@ from repro.obs.flightrecorder import FLIGHT_SUFFIX, FlightRecorder, set_flight_r
 from repro.obs.progress import ProgressReporter, set_heartbeat
 
 #: Fields of the original invocation that ``--resume`` must replay to
-#: reproduce the same plans, seeds, and policy (``--jobs`` is deliberately
-#: absent: worker count is machine-local and never affects values).
+#: reproduce the same plans, seeds, and policy (``--jobs``, ``--backend``,
+#: and ``--coordinator`` are deliberately absent: worker count and execution
+#: backend are machine-local and never affect values, so a run started
+#: distributed can resume serial and vice versa).
 RUN_STATE_FIELDS = (
     "names",
     "quick",
@@ -96,6 +102,66 @@ def _load_run_state(out_dir: Path) -> dict:
     return json.loads(path.read_text())
 
 
+def _handle_interrupt(
+    args: argparse.Namespace,
+    name: str,
+    spec,
+    executor,
+    interrupt: BaseException,
+    out_dir: Path,
+    metrics,
+    recorder,
+    elapsed: float,
+) -> int:
+    """Ctrl-C landed mid-experiment: record it and exit like a shell would.
+
+    Everything the executor settled before the interrupt is already in the
+    checkpoint, so the manifest is written with ``status="interrupted"``
+    (plus the partial fault-tolerance tallies when the executor handed them
+    back through :class:`PlanInterrupted`) and the exit code is 130 — the
+    conventional 128+SIGINT.  ``--resume <out>`` then re-runs only what is
+    missing.
+    """
+    execution = getattr(interrupt, "execution", None)
+    if not args.no_metrics:
+        fault = None
+        if execution is not None:
+            fault = {
+                "attempts": execution.attempts,
+                "retries": execution.retries,
+                "quarantined": sorted(execution.quarantined),
+                "timed_out": sorted(execution.timed_out),
+                "resumed": sorted(execution.resumed),
+                "pool_respawns": execution.pool_respawns,
+            }
+            if execution.hosts:
+                fault["hosts"] = execution.hosts
+        manifest = RunManifest.build(
+            name=name,
+            kind="experiment",
+            seed=None,
+            config={"quick": args.quick},
+            wall_seconds=elapsed,
+            event_count=int(metrics.counter("sim_events_total").value),
+            status="interrupted",
+            completed_jobs=len(execution.values) if execution is not None else None,
+            backend=executor.name if spec.parallel else "direct",
+            workers=executor.workers if spec.parallel else 1,
+            fault_tolerance=fault,
+            flight_recorder=recorder.summary() if recorder is not None else None,
+        )
+        manifest.write(out_dir / f"{name}.manifest.json")
+        write_metrics_files(metrics, out_dir, name)
+    done = len(execution.values) if execution is not None else 0
+    print(
+        f"[drs-experiments] {name} interrupted after {elapsed:.1f}s "
+        f"({done} job(s) checkpointed); resume with: drs-experiments --resume {out_dir}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 130
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -110,7 +176,23 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for sweep experiments (1 = serial, 0 = all cores)",
+        help="worker processes for sweep experiments (1 = serial, 0 = all cores); "
+        "with --backend distributed: local drs-worker processes to spawn "
+        "(0 = none, rely on external workers joining)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("local", "distributed"),
+        default="local",
+        help="execution backend for sweep experiments: local (serial or process "
+        "pool, the default) or distributed (TCP coordinator + drs-worker fleet)",
+    )
+    parser.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="HOST:PORT",
+        help="bind address for --backend distributed (default 127.0.0.1:0 = "
+        "loopback, ephemeral port; use 0.0.0.0:PORT to accept remote workers)",
     )
     parser.add_argument(
         "--seed",
@@ -247,7 +329,9 @@ def main(argv: list[str] | None = None) -> int:
     if not args.fail_fast:
         policy = RetryPolicy(max_attempts=args.retries + 1, timeout_s=args.job_timeout)
     try:
-        executor = make_executor(args.jobs, policy=policy)
+        executor = make_executor(
+            args.jobs, policy=policy, backend=args.backend, coordinator=args.coordinator
+        )
     except ValueError as exc:
         parser.error(str(exc))
 
@@ -286,14 +370,20 @@ def main(argv: list[str] | None = None) -> int:
         if not args.no_flight:
             recorder = FlightRecorder(out_dir / f"{name}{FLIGHT_SUFFIX}", experiment=name)
             set_flight_recorder(recorder)
+        interrupt: BaseException | None = None
         try:
             with use_registry(metrics):
                 result = spec.run(**kwargs)
+        except (PlanInterrupted, KeyboardInterrupt) as exc:
+            interrupt = exc
         finally:
             set_heartbeat(None)
             if recorder is not None:
                 set_flight_recorder(None)
                 recorder.close()
+        if interrupt is not None:
+            return _handle_interrupt(args, name, spec, executor, interrupt, out_dir,
+                                     metrics, recorder, time.perf_counter() - started)
         results.append(result)
         files = result.write(out_dir)
         elapsed = time.perf_counter() - started
@@ -312,7 +402,7 @@ def main(argv: list[str] | None = None) -> int:
                 fault_tolerance={
                     k: engine_meta[k]
                     for k in ("attempts", "retries", "quarantined", "timed_out", "resumed",
-                              "pool_respawns")
+                              "pool_respawns", "hosts")
                     if k in engine_meta
                 } if engine_meta else None,
                 flight_recorder=recorder.summary() if recorder is not None else None,

@@ -21,9 +21,17 @@ kind                      emitted when
 ``job.quarantined``       a job exhausted its retry budget
 ``worker.spawn``          a pool worker process ran its first chunk
 ``worker.exit``           the parent retired a pool worker at shutdown
-``pool.respawn``          a broken process pool was replaced mid-plan
+``worker.join``           a distributed worker completed its handshake
+``worker.leave``          a distributed worker left (goodbye, heartbeat
+                          timeout, or dropped connection); counts requeues
+``job.stolen``            a requeued job was picked up by a different worker
+``pool.respawn``          a broken process pool (or dead spawned distributed
+                          worker) was replaced mid-plan
+``plan.interrupted``      Ctrl-C/SIGINT cut the plan short (partial results
+                          checkpointed; the manifest says ``interrupted``)
 ``scheduler.gauge``       queue depth / in-flight / utilization sample
 ``checkpoint.write``      one job record persisted to the checkpoint stream
+``checkpoint.compact``    the checkpoint file was rewritten to shed stale lines
 ``heartbeat``             a :class:`~repro.obs.progress.ProgressReporter` beat
 ``stats.cell``            a Monte Carlo (N, f) cell's precision snapshot
 ``run.end``               the recorder closed (carries the event tally)
@@ -69,6 +77,7 @@ import os
 import queue
 import threading
 import time
+import weakref
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
@@ -91,14 +100,38 @@ EVENT_KINDS = frozenset(
         "job.quarantined",
         "worker.spawn",
         "worker.exit",
+        "worker.join",
+        "worker.leave",
+        "job.stolen",
         "pool.respawn",
+        "plan.interrupted",
         "scheduler.gauge",
         "checkpoint.write",
+        "checkpoint.compact",
         "heartbeat",
         "stats.cell",
         "run.end",
     }
 )
+
+
+def _drain_pending(
+    pending: "queue.SimpleQueue[str | None]", writer: threading.Thread | None
+) -> None:
+    """Finalizer: let the writer thread drain what is already queued.
+
+    Daemon threads are killed abruptly at interpreter exit, so a recorder
+    that was never :meth:`FlightRecorder.close`\\ d used to silently drop
+    its queued tail.  ``weakref.finalize`` runs this before threads die
+    (and at garbage collection of an abandoned recorder): it hands the
+    writer its stop sentinel and waits for the flush.  Takes the queue and
+    thread as arguments — never the recorder — so the finalizer holds no
+    reference that would keep the recorder alive.
+    """
+    if writer is None or not writer.is_alive():
+        return
+    pending.put(None)
+    writer.join(timeout=5.0)
 
 
 class FlightRecorder:
@@ -129,6 +162,7 @@ class FlightRecorder:
         self._buffer: list[dict[str, Any]] = []
         self._queue: "queue.SimpleQueue[str | None]" = queue.SimpleQueue()
         self._writer: threading.Thread | None = None
+        self._finalizer: weakref.finalize | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self.path.write_text("")  # truncate: one stream per run
@@ -136,6 +170,9 @@ class FlightRecorder:
                 target=self._drain_to_sink, name="flight-recorder", daemon=True
             )
             self._writer.start()
+            # drain the queued tail even if close() never runs (interpreter
+            # exit, abandoned recorder): see _drain_pending
+            self._finalizer = weakref.finalize(self, _drain_pending, self._queue, self._writer)
 
     # ----------------------------------------------------------------- writing
     def emit(self, kind: str, job: str | None = None, pid: int | None = None, **fields: Any) -> dict:
@@ -238,6 +275,9 @@ class FlightRecorder:
             self.emit("run.end", events=self.events_written + 1, by_kind=dict(self.by_kind))
             with self._lock:
                 self._closed = True
+            if self._finalizer is not None:
+                self._finalizer.detach()  # close() supersedes the exit drain
+                self._finalizer = None
             if self._writer is not None:
                 self._queue.put(None)
                 self._writer.join(timeout=5.0)

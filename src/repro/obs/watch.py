@@ -56,6 +56,9 @@ class WorkerView:
     jobs_done: int = 0
     retries: int = 0
     last_t: float = 0.0
+    #: distributed workers only (from ``worker.join``); pool workers are
+    #: always local, so their rows stay host-less
+    host: str | None = None
 
 
 @dataclass
@@ -74,7 +77,10 @@ class WatchState:
     retries: int = 0
     timeouts: int = 0
     pool_respawns: int = 0
+    jobs_stolen: int = 0
+    interrupted: bool = False
     checkpoint_records: int = 0
+    checkpoint_compactions: int = 0
     last_checkpoint_job: str | None = None
     queue_depth: int | None = None
     utilization: float | None = None
@@ -132,16 +138,28 @@ class WatchState:
                 self.quarantined += 1
         elif kind == "worker.spawn":
             self._worker(pid, t)
-        elif kind == "worker.exit":
+        elif kind == "worker.join":
+            worker = self._worker(pid, t)
+            if event.get("host"):
+                worker.host = str(event["host"])
+        elif kind in ("worker.exit", "worker.leave"):
             self._worker(pid, t).state = "exited"
+        elif kind == "job.stolen":
+            self.jobs_stolen += 1
         elif kind == "pool.respawn":
             self.pool_respawns = int(event.get("respawns", self.pool_respawns + 1))
+        elif kind == "plan.interrupted":
+            self.interrupted = True
         elif kind == "scheduler.gauge":
             self.queue_depth = int(event.get("queue_depth", 0))
             self.utilization = float(event.get("utilization", 0.0))
         elif kind == "checkpoint.write":
             self.checkpoint_records = int(event.get("records", self.checkpoint_records + 1))
             self.last_checkpoint_job = event.get("job")
+        elif kind == "checkpoint.compact":
+            self.checkpoint_compactions = int(
+                event.get("compactions", self.checkpoint_compactions + 1)
+            )
         elif kind == "heartbeat":
             self.trials = int(event.get("trials", self.trials))
             self.trials_per_second = float(event.get("trials_per_second", 0.0))
@@ -239,6 +257,8 @@ class WatchState:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "pool_respawns": self.pool_respawns,
+            "jobs_stolen": self.jobs_stolen,
+            "interrupted": self.interrupted,
             "checkpoint_records": self.checkpoint_records,
             "queue_depth": self.queue_depth,
             "utilization": self.utilization,
@@ -253,6 +273,7 @@ class WatchState:
                     "job": w.job,
                     "jobs_done": w.jobs_done,
                     "retries": w.retries,
+                    **({"host": w.host} if w.host else {}),
                 }
                 for pid, w in sorted(self.workers.items())
             },
@@ -273,11 +294,14 @@ def render_watch(state: WatchState, color: bool = True) -> str:
             return text
         return "".join(codes) + text + RESET
 
-    status = (
-        paint("DONE", BOLD, GREEN)
-        if state.finished
-        else paint("RUNNING", BOLD, YELLOW) if state.events else paint("WAITING", DIM)
-    )
+    if state.interrupted:
+        status = paint("INTERRUPTED", BOLD, RED)
+    elif state.finished:
+        status = paint("DONE", BOLD, GREEN)
+    elif state.events:
+        status = paint("RUNNING", BOLD, YELLOW)
+    else:
+        status = paint("WAITING", DIM)
     backend = state.backend or "?"
     header = (
         f"{paint('flight', BOLD)}: {state.experiment or '?'} "
@@ -304,6 +328,8 @@ def render_watch(state: WatchState, color: bool = True) -> str:
         extras.append(paint(f"retries {state.retries}", YELLOW))
     if state.timeouts:
         extras.append(f"timeouts {state.timeouts}")
+    if state.jobs_stolen:
+        extras.append(paint(f"stolen {state.jobs_stolen}", YELLOW))
     if state.pool_respawns:
         extras.append(paint(f"pool respawns {state.pool_respawns}", RED))
     if extras:
@@ -354,16 +380,21 @@ def render_watch(state: WatchState, color: bool = True) -> str:
             doing = paint("exited", DIM)
         else:
             doing = "idle"
-        row = f"  worker {pid:<8} {doing:<40} {worker.jobs_done:>3} job(s)"
+        # distributed workers carry a host label; pool workers keep the
+        # exact pre-distributed row shape
+        who = f"{pid}@{worker.host}" if worker.host else str(pid)
+        row = f"  worker {who:<8} {doing:<40} {worker.jobs_done:>3} job(s)"
         if worker.retries:
             row += f", {worker.retries} retried"
         lines.append(row)
 
     if state.checkpoint_records:
-        lines.append(
-            f"checkpoint: {state.checkpoint_records} record(s)"
-            + (f" · last {state.last_checkpoint_job}" if state.last_checkpoint_job else "")
-        )
+        checkpoint_line = f"checkpoint: {state.checkpoint_records} record(s)"
+        if state.last_checkpoint_job:
+            checkpoint_line += f" · last {state.last_checkpoint_job}"
+        if state.checkpoint_compactions:
+            checkpoint_line += f" · {state.checkpoint_compactions} compaction(s)"
+        lines.append(checkpoint_line)
     return "\n".join(lines)
 
 

@@ -154,3 +154,68 @@ class TestAtomicity:
             for line in lines:
                 json.loads(line)  # every snapshot parses in full
             assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestAppendOnly:
+    def test_each_record_only_appends_bytes(self, tmp_path):
+        """O(1) writes: between compactions a record never rewrites the file."""
+        names = tuple(f"job{i}" for i in range(40))
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan(names=names)
+        checkpoint = Checkpoint(path)
+        checkpoint.load(plan)
+        previous = b""
+        for i, name in enumerate(names):
+            _record(checkpoint, plan, name, float(i))
+            content = path.read_bytes()
+            assert content.startswith(previous), "a persisted prefix was rewritten"
+            assert len(content) > len(previous)
+            previous = content
+        assert checkpoint.compactions == 0  # no duplicates -> nothing stale
+
+    def test_duplicates_trigger_compaction_at_the_threshold(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan()
+        checkpoint = Checkpoint(path, compact_threshold=3)
+        checkpoint.load(plan)
+        _record(checkpoint, plan, "a", 0.0)
+        for i in range(1, 3):  # two supersessions: still below the threshold
+            _record(checkpoint, plan, "a", float(i))
+        assert checkpoint.compactions == 0
+        assert len(path.read_text().splitlines()) == 3  # live + 2 stale
+        _record(checkpoint, plan, "a", 99.0)  # third stale line: compacts
+        assert checkpoint.compactions == 1
+        assert path.read_text().splitlines() != []
+        assert len(path.read_text().splitlines()) == 1  # one live record
+        records = Checkpoint(path).load(plan)
+        assert [(r.job, r.value) for r in records] == [("a", 99.0)]
+
+    def test_stale_lines_counted_across_loads(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan()
+        first = Checkpoint(path)
+        first.load(plan)
+        for value in (1.0, 2.0, 3.0):
+            _record(first, plan, "a", value)
+        with path.open("a") as fh:
+            fh.write('{"torn wri\n')  # a torn tail is stale too
+
+        fresh = Checkpoint(path, compact_threshold=3)
+        fresh.load(plan)  # 4 lines, 1 live -> 3 stale: at the threshold
+        _record(fresh, plan, "b", 1.0)
+        assert fresh.compactions == 1
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # exactly the live records survive
+        reloaded = {r.job: r.value for r in Checkpoint(path).load(plan)}
+        assert reloaded == {"a": 3.0, "b": 1.0}
+
+    def test_compaction_keeps_value_round_trip_exact(self, tmp_path):
+        path = tmp_path / "toy.checkpoint.jsonl"
+        plan = _plan()
+        checkpoint = Checkpoint(path, compact_threshold=1)
+        checkpoint.load(plan)
+        _record(checkpoint, plan, "a", (0.1 + 0.2, np.float64(1e-308)))
+        _record(checkpoint, plan, "a", (0.1 + 0.2, np.float64(1e-308)))  # compacts
+        assert checkpoint.compactions == 1
+        records = Checkpoint(path).load(plan)
+        assert records[0].value == (0.1 + 0.2, 1e-308)

@@ -2,6 +2,8 @@
 
 import json
 import os
+import subprocess
+import sys
 from pathlib import Path
 
 import numpy as np
@@ -92,6 +94,36 @@ class TestRecorderCore:
         events = read_flight_events(path)
         assert [e["kind"] for e in events] == ["plan.begin", "job.completed", "run.end"]
         assert flight_summary(events)["events"] == 3
+
+    def test_unclosed_exit_drains_queued_events(self, tmp_path):
+        """A recorder abandoned without close() must not lose its queued tail."""
+        path = tmp_path / "unclosed.flight.jsonl"
+        script = (
+            "import sys\n"
+            "from repro.obs.flightrecorder import FlightRecorder\n"
+            "rec = FlightRecorder(sys.argv[1], experiment='exp')\n"
+            "for i in range(500):\n"
+            "    rec.emit('job.completed', job=f'j{i}')\n"
+            "rec.emit('plan.end')\n"
+            "sys.exit(0)  # interpreter exit without rec.close()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        subprocess.run(
+            [sys.executable, "-c", script, str(path)], env=env, check=True, timeout=60.0
+        )
+        events = read_flight_events(path)
+        assert len(events) == 501
+        assert events[-1]["kind"] == "plan.end"  # the queued tail was drained
+
+    def test_close_after_finalizer_detach_is_idempotent(self, tmp_path):
+        path = tmp_path / "closed.flight.jsonl"
+        rec = FlightRecorder(path, experiment="exp")
+        rec.emit("plan.begin")
+        rec.close()
+        del rec  # finalizer already detached by close(); no double-drain
+        events = read_flight_events(path)
+        assert [e["kind"] for e in events] == ["plan.begin", "run.end"]
 
     def test_summary_attributes_jobs_to_worker_pids(self, tmp_path):
         rec = FlightRecorder(tmp_path / "a.flight.jsonl")

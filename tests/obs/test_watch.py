@@ -126,6 +126,45 @@ class TestWatchState:
         assert WatchState().apply_all(_events()).to_dict()["precision"] is None
 
 
+class TestDistributedEvents:
+    def _distributed_events(self):
+        return [
+            {"t": 0.0, "kind": "plan.begin", "pid": 1, "experiment": "figure2",
+             "backend": "distributed", "workers": 2, "jobs": 4},
+            {"t": 0.1, "kind": "worker.join", "pid": 201, "host": "node-a", "worker": 1},
+            {"t": 0.1, "kind": "worker.join", "pid": 202, "host": "node-b", "worker": 2},
+            {"t": 0.2, "kind": "job.attempt", "pid": 201, "job": "mc/n=3", "attempt": 1},
+            {"t": 0.5, "kind": "worker.leave", "pid": 201, "reason": "heartbeat timeout"},
+            {"t": 0.6, "kind": "job.stolen", "pid": 1, "job": "mc/n=3",
+             "from_worker": 1, "to_worker": 2},
+            {"t": 0.7, "kind": "checkpoint.compact", "pid": 1, "records": 3,
+             "reclaimed": 5, "compactions": 2, "bytes": 360},
+        ]
+
+    def test_reducer_folds_join_leave_steal_and_compaction(self):
+        state = WatchState().apply_all(self._distributed_events())
+        assert state.workers[201].host == "node-a"
+        assert state.workers[201].state == "exited"
+        assert state.workers[202].state == "idle"
+        assert state.jobs_stolen == 1
+        assert state.checkpoint_compactions == 2
+        payload = json.loads(json.dumps(state.to_dict()))
+        assert payload["workers"]["201"]["host"] == "node-a"
+        assert payload["jobs_stolen"] == 1
+
+    def test_render_labels_hosts_and_counts_steals(self):
+        text = render_watch(WatchState().apply_all(self._distributed_events()), color=False)
+        assert "worker 201@node-a exited" in text
+        assert "worker 202@node-b idle" in text
+        assert "stolen 1" in text
+
+    def test_plan_interrupted_renders_the_interrupted_badge(self):
+        state = WatchState().apply_all(_events())
+        state.apply({"t": 2.0, "kind": "plan.interrupted", "pid": 1, "settled": 1})
+        assert state.interrupted
+        assert "[INTERRUPTED]" in render_watch(state, color=False)
+
+
 class TestRenderWatch:
     def test_ci_line_renders_between_trials_and_workers(self):
         text = render_watch(
